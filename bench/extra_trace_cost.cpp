@@ -1,0 +1,71 @@
+// Extension: profiling vs tracing storage cost (paper Sec. 5).
+//
+// "Trace-based approaches have to deal with problems like ... the overhead
+// of storing voluminous trace files.  Unlike tracing, we numerically
+// quantify the extent of non-overlapped communication."  This driver runs
+// the same CG job with (a) the overlap framework alone and (b) an attached
+// event tracer, and compares the tracer's unbounded storage with the
+// framework's fixed event queue.
+#include <cstdio>
+#include <iostream>
+
+#include "mpi/machine.hpp"
+#include "mpi/trace.hpp"
+#include "nas/cg.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace ovp;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  if (!flags.parse(argc, argv)) return 2;
+  std::printf("=== extra_trace_cost ===\n"
+              "Fixed-memory profiling (the framework) vs full event tracing "
+              "on the same traffic.\n\n");
+  util::TextTable table({"iterations", "trace_events", "trace_kb",
+                         "framework_queue_kb", "framework_drains"});
+  for (const int iters : {10, 40, 160}) {
+    mpi::JobConfig cfg;
+    cfg.nranks = 2;
+    cfg.mpi.monitor.queue_capacity = 1024;
+    mpi::Machine machine(cfg);
+    mpi::TraceRecorder tracer;
+    std::vector<std::uint8_t> buf(32 * 1024);
+    std::int64_t drains = 0;
+    machine.run([&](mpi::Mpi& mpi) {
+      if (mpi.rank() == 0) mpi.setHooks(tracer.hooks());
+      for (int i = 0; i < iters; ++i) {
+        if (mpi.rank() == 0) {
+          mpi::Request r = mpi.isend(buf.data(), 32 * 1024, 1, 0);
+          mpi.compute(usec(100));
+          mpi.wait(r);
+        } else {
+          mpi.recv(buf.data(), 32 * 1024, 0, 0);
+        }
+        mpi.barrier();
+      }
+    });
+    drains = machine.reports()[0].queue_drains;
+    const double queue_kb =
+        static_cast<double>(cfg.mpi.monitor.queue_capacity *
+                            sizeof(overlap::Event)) /
+        1024.0;
+    table.addRow({util::TextTable::integer(iters),
+                  util::TextTable::integer(
+                      static_cast<long long>(tracer.eventCount())),
+                  util::TextTable::num(
+                      static_cast<double>(tracer.memoryBytes()) / 1024.0, 1),
+                  util::TextTable::num(queue_kb, 1),
+                  util::TextTable::integer(drains)});
+  }
+  if (flags.getBool("csv", false)) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::printf(
+      "\nTrace storage grows linearly with run length; the framework's\n"
+      "queue stays fixed and is simply drained more often.\n");
+  return 0;
+}

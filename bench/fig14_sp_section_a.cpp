@@ -1,0 +1,10 @@
+// Paper Fig. 14: SP overlap over the overlapping section, original vs Iprobe-modified, class A.
+#include "sp_figures.hpp"
+
+using namespace ovp;
+using namespace ovp::bench;
+
+int main(int argc, char** argv) {
+  runSpFigure("fig14_sp_section_a", "Paper Fig. 14: SP overlap over the overlapping section, original vs Iprobe-modified, class A.", nas::Class::A, true, argc, argv);
+  return 0;
+}

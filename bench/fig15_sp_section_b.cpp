@@ -1,0 +1,10 @@
+// Paper Fig. 15: SP overlap over the overlapping section, original vs Iprobe-modified, class B.
+#include "sp_figures.hpp"
+
+using namespace ovp;
+using namespace ovp::bench;
+
+int main(int argc, char** argv) {
+  runSpFigure("fig15_sp_section_b", "Paper Fig. 15: SP overlap over the overlapping section, original vs Iprobe-modified, class B.", nas::Class::B, true, argc, argv);
+  return 0;
+}

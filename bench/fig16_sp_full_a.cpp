@@ -1,0 +1,10 @@
+// Paper Fig. 16: SP overlap over the complete code, original vs modified, class A (gains limited by copy_faces).
+#include "sp_figures.hpp"
+
+using namespace ovp;
+using namespace ovp::bench;
+
+int main(int argc, char** argv) {
+  runSpFigure("fig16_sp_full_a", "Paper Fig. 16: SP overlap over the complete code, original vs modified, class A (gains limited by copy_faces).", nas::Class::A, false, argc, argv);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Paper Fig. 17: SP overlap over the complete code, original vs modified, class B.
+#include "sp_figures.hpp"
+
+using namespace ovp;
+using namespace ovp::bench;
+
+int main(int argc, char** argv) {
+  runSpFigure("fig17_sp_full_b", "Paper Fig. 17: SP overlap over the complete code, original vs modified, class B.", nas::Class::B, false, argc, argv);
+  return 0;
+}

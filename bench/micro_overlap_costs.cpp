@@ -1,0 +1,116 @@
+// Host-side cost of the instrumentation primitives, measured with
+// google-benchmark.  These are the real-machine costs of the framework's
+// data structures (circular queue, on-the-fly processing, bound
+// computation, table lookup); the virtual-time event costs charged in the
+// simulation (MonitorConfig::event_cost) are calibrated to be of the same
+// order.
+#include <benchmark/benchmark.h>
+
+#include "overlap/bounds.hpp"
+#include "overlap/monitor.hpp"
+#include "util/ring_buffer.hpp"
+
+using namespace ovp;
+using namespace ovp::overlap;
+
+namespace {
+
+XferTimeTable denseTable() {
+  XferTimeTable t;
+  for (Bytes s = 8; s <= 8 * 1024 * 1024; s *= 2) {
+    t.add(s, s + 2000);
+  }
+  return t;
+}
+
+MonitorConfig benchConfig() {
+  MonitorConfig cfg;
+  cfg.queue_capacity = 4096;
+  cfg.table = denseTable();
+  return cfg;
+}
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  util::RingBuffer<Event> rb(1024);
+  Event e{EventType::CallEnter, 0, 0, 0};
+  for (auto _ : state) {
+    rb.push(e);
+    benchmark::DoNotOptimize(rb.pop());
+  }
+}
+BENCHMARK(BM_RingBufferPushPop);
+
+void BM_ComputeBounds(benchmark::State& state) {
+  BoundsInput in;
+  in.begin_seen = in.end_seen = true;
+  in.computation = 5000;
+  in.noncomputation = 700;
+  in.xfer_time = 4000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computeBounds(in));
+  }
+}
+BENCHMARK(BM_ComputeBounds);
+
+void BM_TableLookup(benchmark::State& state) {
+  const XferTimeTable t = denseTable();
+  Bytes size = 10000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.lookup(size));
+    size = (size * 7) % (4 * 1024 * 1024) + 64;
+  }
+}
+BENCHMARK(BM_TableLookup);
+
+void BM_MonitorCallBracket(benchmark::State& state) {
+  Monitor m(benchConfig(), 0);
+  TimeNs t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.callEnter(t));
+    benchmark::DoNotOptimize(m.callExit(t + 100));
+    t += 200;
+  }
+}
+BENCHMARK(BM_MonitorCallBracket);
+
+void BM_MonitorTransferLifecycle(benchmark::State& state) {
+  // Full per-transfer instrumentation cost: call bracket + begin/end +
+  // amortized drain.
+  Monitor m(benchConfig(), 0);
+  TimeNs t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.callEnter(t));
+    auto [id, cost] = m.xferBegin(t + 10, 65536);
+    benchmark::DoNotOptimize(cost);
+    benchmark::DoNotOptimize(m.callExit(t + 50));
+    benchmark::DoNotOptimize(m.callEnter(t + 500));
+    benchmark::DoNotOptimize(m.xferEnd(t + 510, id));
+    benchmark::DoNotOptimize(m.callExit(t + 520));
+    t += 1000;
+  }
+}
+BENCHMARK(BM_MonitorTransferLifecycle);
+
+void BM_MonitorQueueDrain(benchmark::State& state) {
+  // Cost of draining a full queue through the processor, per event.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  MonitorConfig cfg = benchConfig();
+  cfg.queue_capacity = n;
+  Monitor m(cfg, 0);
+  TimeNs t = 0;
+  for (auto _ : state) {
+    // Fill the queue with call brackets; the final push triggers a drain.
+    for (std::size_t i = 0; i * 2 + 2 <= n; ++i) {
+      benchmark::DoNotOptimize(m.callEnter(t));
+      benchmark::DoNotOptimize(m.callExit(t + 50));
+      t += 100;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MonitorQueueDrain)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared driver for the NAS SP tuning study (paper Sec. 4.3, Figs. 14-18):
+// original vs Iprobe-modified SP, reported either over the monitored
+// "solve-overlap" section (Figs. 14/15) or the complete code (Figs. 16/17),
+// plus total MPI time (Fig. 18).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "nas/sp.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace ovp::bench {
+
+inline void runSpFigure(const char* figure, const char* description,
+                        nas::Class cls, bool section_scope, int argc,
+                        char** argv) {
+  util::Flags flags;
+  if (!flags.parse(argc, argv)) std::exit(2);
+  std::printf("=== %s ===\n%s\nlibrary: %s\n\n", figure, description,
+              mpi::presetName(mpi::Preset::Mvapich2));
+  util::TextTable table({"class", "procs", "variant", "verified", "min_pct",
+                         "max_pct", "mpi_time_ms"});
+  for (const int p : {4, 9, 16}) {
+    for (const bool modified : {false, true}) {
+      nas::SpParams params;
+      params.cls = cls;
+      params.nranks = p;
+      params.preset = mpi::Preset::Mvapich2;  // the paper's SP exercise
+      params.modified = modified;
+      if (flags.has("iterations")) {
+        params.iterations = static_cast<int>(flags.getInt("iterations", 0));
+      }
+      const nas::NasResult r = nas::runSp(params);
+      const overlap::OverlapAccum acc =
+          section_scope ? nas::aggregateSection(r.reports, "solve-overlap")
+                        : nas::aggregateWhole(r.reports);
+      table.addRow({nas::className(cls), util::TextTable::integer(p),
+                    modified ? "modified" : "original",
+                    r.verified ? "yes" : "NO",
+                    util::TextTable::num(acc.minPct(), 1),
+                    util::TextTable::num(acc.maxPct(), 1),
+                    util::TextTable::num(toMsec(r.mpiTime()), 2)});
+    }
+  }
+  if (flags.getBool("csv", false)) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace ovp::bench

@@ -1,0 +1,87 @@
+// Protocol explorer: sweeps message sizes across the three library presets
+// and reports each one's achievable overlap band and effective exchange
+// rate for the standard Isend / compute / Wait pattern.
+//
+// This is the "which library setting should my app use?" view the paper
+// motivates in Sec. 1: the same application code hides latency very
+// differently depending on the eager limit, the rendezvous scheme, and the
+// progress model.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace ovp;
+
+namespace {
+
+struct Result {
+  double min_pct = 0, max_pct = 0;
+  DurationNs iter_time = 0;
+};
+
+Result explore(mpi::Preset preset, Bytes msg) {
+  mpi::JobConfig job;
+  job.nranks = 2;
+  job.mpi.preset = preset;
+  job.mpi.monitor.classes = overlap::SizeClasses::shortLong(64);
+  mpi::Machine machine(job);
+  std::vector<std::uint8_t> sbuf(static_cast<std::size_t>(msg), 7);
+  std::vector<std::uint8_t> rbuf(static_cast<std::size_t>(msg));
+  const int iters = 30;
+  // Computation sized to roughly match the transfer time, the sweet spot
+  // where overlap matters most.
+  const DurationNs compute =
+      static_cast<DurationNs>(static_cast<double>(msg) * 1.2) + usec(5);
+  machine.run([&](mpi::Mpi& mpi) {
+    for (int i = 0; i < iters; ++i) {
+      if (mpi.rank() == 0) {
+        mpi::Request r = mpi.isend(sbuf.data(), msg, 1, 0);
+        mpi.compute(compute);
+        mpi.wait(r);
+      } else {
+        mpi::Request r = mpi.irecv(rbuf.data(), msg, 0, 0);
+        mpi.compute(compute);
+        mpi.wait(r);
+      }
+      mpi.barrier();
+    }
+  });
+  Result res;
+  const auto& cls = machine.reports()[0].whole.by_class[1];
+  res.min_pct = cls.minPct();
+  res.max_pct = cls.maxPct();
+  res.iter_time = machine.finishTime() / iters;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Isend / compute / Wait, computation ~= transfer time.\n"
+              "Overlap band is the sender's [min,max] bound; iter time is\n"
+              "the full exchange pipeline step.\n\n");
+  util::TextTable table({"message", "preset", "min_pct", "max_pct",
+                         "iter_us"});
+  for (const Bytes msg : {Bytes{1} << 10, Bytes{8} << 10, Bytes{64} << 10,
+                          Bytes{512} << 10, Bytes{4} << 20}) {
+    for (const mpi::Preset preset :
+         {mpi::Preset::OpenMpiPipelined, mpi::Preset::OpenMpiLeavePinned,
+          mpi::Preset::Mvapich2, mpi::Preset::Mvapich2RdmaWrite}) {
+      const Result r = explore(preset, msg);
+      table.addRow({util::humanBytes(msg), mpi::presetName(preset),
+                    util::TextTable::num(r.min_pct, 1),
+                    util::TextTable::num(r.max_pct, 1),
+                    util::TextTable::num(toUsec(r.iter_time), 1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading guide: short messages overlap everywhere (eager copies);\n"
+      "long messages only overlap under the RDMA-Read rendezvous presets —\n"
+      "under pipelined RDMA the band collapses to the first fragment.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Post-processing workflow: run an instrumented job, write the per-process
+// report files (the paper's Fig. 2 "output file with overlap numbers"),
+// then reload them offline, merge across ranks, and print a comparison —
+// the way a performance analyst would consume the framework's output on a
+// real cluster, where each process writes its own file at MPI_Finalize.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "util/table.hpp"
+
+using namespace ovp;
+
+int main() {
+  // A deliberately imbalanced job: rank 0 overlaps well, rank 1 does not.
+  mpi::JobConfig job;
+  job.nranks = 4;
+  job.mpi.preset = mpi::Preset::Mvapich2;
+  mpi::Machine machine(job);
+  std::vector<std::uint8_t> buf(1 << 20);
+  machine.run([&](mpi::Mpi& mpi) {
+    for (int i = 0; i < 10; ++i) {
+      const Rank peer = static_cast<Rank>(mpi.rank() ^ 1);
+      if (mpi.rank() % 2 == 0) {
+        mpi::Request r = mpi.isend(buf.data(), 1 << 20, peer, 0);
+        if (mpi.rank() == 0) mpi.compute(msec(2));  // only rank 0 overlaps
+        mpi.wait(r);
+      } else {
+        mpi.recv(buf.data(), 1 << 20, peer, 0);
+      }
+      mpi.barrier();
+    }
+  });
+
+  // 1. Each process' report goes to its own file...
+  const std::string prefix = "/tmp/ovp_example_job";
+  if (!machine.writeReports(prefix)) {
+    std::fprintf(stderr, "failed to write report files\n");
+    return 1;
+  }
+  std::printf("wrote %d report files: %s.rank*.ovp\n\n", 4, prefix.c_str());
+
+  // 2. ...which an offline tool reloads...
+  std::vector<overlap::Report> loaded(4);
+  for (int r = 0; r < 4; ++r) {
+    if (!loaded[static_cast<std::size_t>(r)].loadFile(
+            prefix + ".rank" + std::to_string(r) + ".ovp")) {
+      std::fprintf(stderr, "failed to reload rank %d\n", r);
+      return 1;
+    }
+  }
+
+  // 3. ...to compare ranks and aggregate the job.
+  util::TextTable table({"rank", "transfers", "min_pct", "max_pct",
+                         "non_overlapped_ms", "mpi_time_ms"});
+  for (const overlap::Report& r : loaded) {
+    table.addRow({util::TextTable::integer(r.rank),
+                  util::TextTable::integer(r.whole.total.transfers),
+                  util::TextTable::num(r.whole.total.minPct(), 1),
+                  util::TextTable::num(r.whole.total.maxPct(), 1),
+                  util::TextTable::num(
+                      toMsec(r.whole.total.minNonOverlapped()), 2),
+                  util::TextTable::num(
+                      toMsec(r.whole.communication_call_time), 2)});
+  }
+  const overlap::Report merged = overlap::mergeReports(loaded);
+  table.addRow({"all", util::TextTable::integer(merged.whole.total.transfers),
+                util::TextTable::num(merged.whole.total.minPct(), 1),
+                util::TextTable::num(merged.whole.total.maxPct(), 1),
+                util::TextTable::num(
+                    toMsec(merged.whole.total.minNonOverlapped()), 2),
+                util::TextTable::num(
+                    toMsec(merged.whole.communication_call_time), 2)});
+  table.print(std::cout);
+  std::printf(
+      "\nRank 0 hides its sends behind computation; rank 2 posts the very\n"
+      "same sends but computes nothing, and ranks 1/3 block in receives —\n"
+      "their bounds collapse.  The per-process files make the imbalance\n"
+      "obvious offline.\n");
+  return 0;
+}

@@ -1,0 +1,323 @@
+#include "armci/armci.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "mpi/config.hpp"  // analyticTable
+
+namespace ovp::armci {
+
+// RAII bracket stamping CALL_ENTER/CALL_EXIT (outermost level only).
+struct Armci::CallGuard {
+  explicit CallGuard(Armci& a) : a_(a) {
+    if (a_.monitor_) a_.ctx_.advance(a_.monitor_->callEnter(a_.ctx_.now()));
+    a_.ctx_.advance(a_.cfg_.call_overhead);
+  }
+  ~CallGuard() {
+    if (a_.monitor_) a_.ctx_.advance(a_.monitor_->callExit(a_.ctx_.now()));
+  }
+  Armci& a_;
+};
+
+Armci::Armci(sim::Context& ctx, net::Fabric& fabric, const ArmciConfig& cfg,
+             std::shared_ptr<SharedBarrier> barrier)
+    : ctx_(ctx),
+      fabric_(fabric),
+      nic_(fabric.nic(ctx.rank())),
+      cfg_(cfg),
+      barrier_(std::move(barrier)) {
+  if (cfg_.instrument) {
+    overlap::MonitorConfig mc = cfg_.monitor;
+    if (mc.table.empty()) mc.table = mpi::analyticTable(fabric_.params());
+    monitor_ = std::make_unique<overlap::Monitor>(std::move(mc), ctx_.rank());
+  }
+}
+
+Armci::~Armci() = default;
+
+void Armci::stampBeginForOp(std::int64_t op_id, Bytes bytes) {
+  if (!monitor_ || bytes <= 0) return;
+  const auto [id, cost] = monitor_->xferBegin(ctx_.now(), bytes);
+  ctx_.advance(cost);
+  op_xfer_[op_id] = id;
+}
+
+void Armci::registerWork(net::WorkId wid, std::int64_t op_id) {
+  work_to_op_.emplace(wid, op_id);
+}
+
+void Armci::progress() {
+  const net::FabricParams& p = fabric_.params();
+  net::Completion c;
+  while (nic_.pollCompletion(c)) {
+    ctx_.advance(p.cq_poll_cost);
+    const auto wit = work_to_op_.find(c.id);
+    if (wit == work_to_op_.end()) continue;
+    const std::int64_t op = wit->second;
+    work_to_op_.erase(wit);
+    const auto pit = pending_.find(op);
+    assert(pit != pending_.end());
+    if (--pit->second.outstanding == 0) {
+      pending_.erase(pit);
+      const auto xit = op_xfer_.find(op);
+      if (xit != op_xfer_.end()) {
+        if (monitor_) ctx_.advance(monitor_->xferEnd(ctx_.now(), xit->second));
+        op_xfer_.erase(xit);
+      }
+    }
+  }
+  ctx_.advance(p.cq_poll_cost);
+}
+
+void Armci::progressUntil(const std::function<bool()>& pred) {
+  progress();
+  while (!pred()) {
+    ctx_.sleep();
+    progress();
+  }
+}
+
+NbHandle Armci::postContig(bool is_put, const void* src, void* dst, Bytes n,
+                           Rank target) {
+  const net::FabricParams& p = fabric_.params();
+  const std::int64_t op = next_op_++;
+  pending_[op] = PendingOp{1, n};
+  ctx_.advance(p.post_overhead);
+  stampBeginForOp(op, n);
+  net::WorkId wid;
+  if (is_put) {
+    wid = nic_.postRdmaWrite(target, src, dst, n, nullptr);
+  } else {
+    wid = nic_.postRdmaRead(target, dst, src, n);
+  }
+  registerWork(wid, op);
+  NbHandle h;
+  h.id = op;
+  return h;
+}
+
+NbHandle Armci::postStrided(bool is_put, const void* src, Bytes src_stride,
+                            void* dst, Bytes dst_stride, Bytes row_bytes,
+                            int count, Rank target) {
+  const net::FabricParams& p = fabric_.params();
+  const std::int64_t op = next_op_++;
+  pending_[op] = PendingOp{count, row_bytes * count};
+  // One data transfer op for the whole strided region: the NIC moves it as
+  // `count` scatter/gather rows.
+  stampBeginForOp(op, row_bytes * count);
+  const auto* s = static_cast<const std::byte*>(src);
+  auto* d = static_cast<std::byte*>(dst);
+  for (int r = 0; r < count; ++r) {
+    ctx_.advance(p.post_overhead);
+    net::WorkId wid;
+    if (is_put) {
+      wid = nic_.postRdmaWrite(target, s, d, row_bytes, nullptr);
+    } else {
+      wid = nic_.postRdmaRead(target, d, s, row_bytes);
+    }
+    registerWork(wid, op);
+    s += src_stride;
+    d += dst_stride;
+  }
+  NbHandle h;
+  h.id = op;
+  return h;
+}
+
+void Armci::put(const void* local_src, void* remote_dst, Bytes n,
+                Rank target) {
+  CallGuard guard(*this);
+  progress();
+  NbHandle h = postContig(/*is_put=*/true, local_src, remote_dst, n, target);
+  progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  // Blocking put semantics: ensure remote delivery, not just local CQE.
+  ctx_.advance(fabric_.params().wire_latency);
+}
+
+void Armci::get(const void* remote_src, void* local_dst, Bytes n,
+                Rank target) {
+  CallGuard guard(*this);
+  progress();
+  NbHandle h = postContig(/*is_put=*/false, remote_src, local_dst, n, target);
+  progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+}
+
+NbHandle Armci::nbPut(const void* local_src, void* remote_dst, Bytes n,
+                      Rank target) {
+  CallGuard guard(*this);
+  progress();
+  return postContig(true, local_src, remote_dst, n, target);
+}
+
+NbHandle Armci::nbGet(const void* remote_src, void* local_dst, Bytes n,
+                      Rank target) {
+  CallGuard guard(*this);
+  progress();
+  return postContig(false, remote_src, local_dst, n, target);
+}
+
+NbHandle Armci::nbPutStrided(const void* local_src, Bytes src_stride,
+                             void* remote_dst, Bytes dst_stride,
+                             Bytes row_bytes, int count, Rank target) {
+  CallGuard guard(*this);
+  progress();
+  return postStrided(true, local_src, src_stride, remote_dst, dst_stride,
+                     row_bytes, count, target);
+}
+
+NbHandle Armci::nbGetStrided(const void* remote_src, Bytes src_stride,
+                             void* local_dst, Bytes dst_stride,
+                             Bytes row_bytes, int count, Rank target) {
+  CallGuard guard(*this);
+  progress();
+  return postStrided(false, remote_src, src_stride, local_dst, dst_stride,
+                     row_bytes, count, target);
+}
+
+NbHandle Armci::nbAcc(const double* local_src, double* remote_dst, int count,
+                      double scale, Rank target) {
+  CallGuard guard(*this);
+  progress();
+  const net::FabricParams& p = fabric_.params();
+  const std::int64_t op = next_op_++;
+  const Bytes bytes = static_cast<Bytes>(count) *
+                      static_cast<Bytes>(sizeof(double));
+  pending_[op] = PendingOp{1, bytes};
+  ctx_.advance(p.post_overhead);
+  stampBeginForOp(op, bytes);
+  const net::WorkId wid = nic_.postRdmaApply(
+      target, local_src, remote_dst, bytes,
+      [scale](const std::byte* staged, void* dst, Bytes n) {
+        const auto* in = reinterpret_cast<const double*>(staged);
+        auto* out = static_cast<double*>(dst);
+        const std::size_t cnt = static_cast<std::size_t>(n) / sizeof(double);
+        for (std::size_t i = 0; i < cnt; ++i) out[i] += scale * in[i];
+      });
+  registerWork(wid, op);
+  NbHandle h;
+  h.id = op;
+  return h;
+}
+
+void Armci::acc(const double* local_src, double* remote_dst, int count,
+                double scale, Rank target) {
+  NbHandle h = nbAcc(local_src, remote_dst, count, scale, target);
+  wait(h);
+  CallGuard guard(*this);
+  // Remote combination lags local completion by the wire latency.
+  ctx_.advance(fabric_.params().wire_latency);
+}
+
+std::vector<void*> Armci::collectiveMalloc(Bytes bytes) {
+  if (!barrier_) {
+    throw std::logic_error("armci: collectiveMalloc needs a job");
+  }
+  SharedBarrier& b = *barrier_;
+  // Ranks execute strictly one at a time; rank 0 creates the slot between
+  // two barriers so everyone then fills and reads a consistent vector.
+  barrier();
+  if (ctx_.rank() == 0) {
+    b.allocations.emplace_back(static_cast<std::size_t>(b.nranks));
+  }
+  barrier();
+  auto& slot = b.allocations.back();
+  slot[static_cast<std::size_t>(ctx_.rank())] =
+      std::make_unique<std::byte[]>(static_cast<std::size_t>(bytes));
+  barrier();
+  std::vector<void*> ptrs(static_cast<std::size_t>(b.nranks));
+  for (int r = 0; r < b.nranks; ++r) {
+    ptrs[static_cast<std::size_t>(r)] = slot[static_cast<std::size_t>(r)].get();
+  }
+  return ptrs;
+}
+
+void Armci::wait(NbHandle& h) {
+  if (!h.valid()) return;
+  CallGuard guard(*this);
+  progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  h.id = -1;
+}
+
+void Armci::waitAll() {
+  CallGuard guard(*this);
+  progressUntil([&] { return pending_.empty(); });
+}
+
+void Armci::fence(Rank /*target*/) {
+  CallGuard guard(*this);
+  progressUntil([&] { return pending_.empty(); });
+  // Local completion means the data left this NIC; remote placement lags by
+  // the wire latency.
+  ctx_.advance(fabric_.params().wire_latency);
+}
+
+void Armci::barrier() {
+  if (!barrier_) {
+    throw std::logic_error("armci: barrier requires a SharedBarrier");
+  }
+  CallGuard guard(*this);
+  SharedBarrier& b = *barrier_;
+  const std::int64_t my_epoch = b.epoch;
+  if (++b.count == b.nranks) {
+    b.count = 0;
+    ++b.epoch;
+    // Release the peers after one wire hop (they learn via the message
+    // layer); self continues immediately.
+    sim::Engine& eng = ctx_.engine();
+    const int n = b.nranks;
+    const Rank me = ctx_.rank();
+    eng.after(fabric_.params().wire_latency, [&eng, n, me] {
+      for (Rank r = 0; r < n; ++r) {
+        if (r != me) eng.wake(r);
+      }
+    });
+    return;
+  }
+  while (b.epoch == my_epoch) {
+    ctx_.sleep();
+    progress();  // drain any stray completions while we sit here
+  }
+}
+
+double Armci::allreduceSum(double value) {
+  if (!barrier_) throw std::logic_error("armci: allreduceSum needs a job");
+  barrier();
+  if (ctx_.rank() == 0) barrier_->reduce_slot = 0.0;
+  barrier();
+  // Ranks execute strictly one at a time, so the accumulation is safe.
+  barrier_->reduce_slot += value;
+  barrier();
+  return barrier_->reduce_slot;
+}
+
+void Armci::sectionBegin(std::string_view name) {
+  if (monitor_) ctx_.advance(monitor_->sectionBegin(ctx_.now(), name));
+}
+
+void Armci::sectionEnd() {
+  if (monitor_) ctx_.advance(monitor_->sectionEnd(ctx_.now()));
+}
+
+const overlap::Report& Armci::finalizeReport() {
+  assert(monitor_ && "finalizeReport requires an instrumented run");
+  return monitor_->report(ctx_.now());
+}
+
+ArmciMachine::ArmciMachine(ArmciJobConfig cfg) : cfg_(std::move(cfg)) {}
+
+void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
+  net::Fabric fabric(engine_, cfg_.fabric, cfg_.nranks);
+  auto barrier = std::make_shared<SharedBarrier>(cfg_.nranks);
+  reports_.assign(
+      cfg_.armci.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,
+      overlap::Report{});
+  engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
+    Armci armci(ctx, fabric, cfg_.armci, barrier);
+    rankMain(armci);
+    if (armci.instrumented()) {
+      reports_[static_cast<std::size_t>(ctx.rank())] = armci.finalizeReport();
+    }
+  });
+}
+
+}  // namespace ovp::armci

@@ -1,0 +1,32 @@
+// PERUSE-style event callbacks (paper Sec. 2.1 / 5).
+//
+// The PERUSE specification exposes events internal to MPI implementations
+// so external performance tools can observe them.  The paper designs its
+// framework around the same event vocabulary and stresses that, living
+// inside the library, it "fits well with other performance monitoring
+// approaches that operate outside the library".  This header is that
+// outside interface: a tool may register callbacks that fire at exactly
+// the instrumentation points the overlap framework uses, without touching
+// or perturbing the framework's own accounting (callbacks run in zero
+// virtual time unless the tool charges some via its Mpi reference).
+#pragma once
+
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace ovp::mpi {
+
+struct EventHooks {
+  /// Application entered / left a library call (outermost level only).
+  std::function<void(TimeNs)> on_call_enter;
+  std::function<void(TimeNs)> on_call_exit;
+  /// A data-transfer operation moving user-message bytes was posted /
+  /// detected complete (control packets never fire these).
+  std::function<void(TimeNs, Bytes)> on_xfer_begin;
+  std::function<void(TimeNs)> on_xfer_end;
+  /// An incoming message was matched to a receive request.
+  std::function<void(TimeNs, Rank source, int tag, Bytes bytes)> on_match;
+};
+
+}  // namespace ovp::mpi

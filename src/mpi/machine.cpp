@@ -1,0 +1,45 @@
+#include "mpi/machine.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace ovp::mpi {
+
+overlap::XferTimeTable analyticTable(const net::FabricParams& params) {
+  overlap::XferTimeTable table;
+  for (Bytes size = 8; size <= 16 * 1024 * 1024; size *= 2) {
+    table.add(size, params.unloadedTransfer(size));
+  }
+  return table;
+}
+
+Machine::Machine(JobConfig cfg) : cfg_(std::move(cfg)) {}
+
+bool Machine::writeReports(const std::string& prefix) const {
+  for (const overlap::Report& r : reports_) {
+    const std::string path =
+        prefix + ".rank" + std::to_string(r.rank) + ".ovp";
+    if (!r.saveFile(path)) return false;
+  }
+  return true;
+}
+
+void Machine::run(const std::function<void(Mpi&)>& rankMain) {
+  net::Fabric fabric(engine_, cfg_.fabric, cfg_.nranks);
+  reports_.assign(
+      cfg_.mpi.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,
+      overlap::Report{});
+  std::mutex reports_mu;
+  engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
+    Mpi mpi(ctx, fabric, cfg_.mpi);
+    rankMain(mpi);
+    if (mpi.instrumented()) {
+      const overlap::Report& r = mpi.finalizeReport();
+      // Rank threads never run concurrently, but guard for clarity.
+      std::lock_guard<std::mutex> lock(reports_mu);
+      reports_[static_cast<std::size_t>(ctx.rank())] = r;
+    }
+  });
+}
+
+}  // namespace ovp::mpi

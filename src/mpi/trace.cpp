@@ -1,0 +1,62 @@
+#include "mpi/trace.hpp"
+
+#include <ostream>
+
+namespace ovp::mpi {
+
+namespace {
+const char* kindName(TraceRecorder::Kind k) {
+  switch (k) {
+    case TraceRecorder::Kind::CallEnter: return "CALL_ENTER";
+    case TraceRecorder::Kind::CallExit: return "CALL_EXIT";
+    case TraceRecorder::Kind::XferBegin: return "XFER_BEGIN";
+    case TraceRecorder::Kind::XferEnd: return "XFER_END";
+    case TraceRecorder::Kind::Match: return "MATCH";
+  }
+  return "?";
+}
+}  // namespace
+
+EventHooks TraceRecorder::hooks() {
+  EventHooks h;
+  h.on_call_enter = [this](TimeNs t) {
+    entries_.push_back({Kind::CallEnter, t, 0, -1, 0});
+  };
+  h.on_call_exit = [this](TimeNs t) {
+    entries_.push_back({Kind::CallExit, t, 0, -1, 0});
+  };
+  h.on_xfer_begin = [this](TimeNs t, Bytes n) {
+    entries_.push_back({Kind::XferBegin, t, n, -1, 0});
+  };
+  h.on_xfer_end = [this](TimeNs t) {
+    entries_.push_back({Kind::XferEnd, t, 0, -1, 0});
+  };
+  h.on_match = [this](TimeNs t, Rank src, int tag, Bytes n) {
+    entries_.push_back({Kind::Match, t, n, src, tag});
+  };
+  return h;
+}
+
+void TraceRecorder::writeCsv(std::ostream& os) const {
+  os << "kind,time_ns,bytes,source,tag\n";
+  for (const Entry& e : entries_) {
+    os << kindName(e.kind) << ',' << e.time << ',' << e.bytes << ','
+       << e.source << ',' << e.tag << '\n';
+  }
+}
+
+DurationNs TraceRecorder::callTimeFromTrace() const {
+  DurationNs total = 0;
+  TimeNs enter = -1;
+  for (const Entry& e : entries_) {
+    if (e.kind == Kind::CallEnter) {
+      enter = e.time;
+    } else if (e.kind == Kind::CallExit && enter >= 0) {
+      total += e.time - enter;
+      enter = -1;
+    }
+  }
+  return total;
+}
+
+}  // namespace ovp::mpi

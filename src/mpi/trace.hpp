@@ -1,0 +1,68 @@
+// TraceRecorder: an event tracer built ON TOP of the PERUSE-style hooks —
+// the "outside the library" tooling style the paper contrasts its
+// framework with (Sec. 5).
+//
+// Tracing keeps every event; its memory grows with run length, and
+// post-processing has to dig the overlap story out of the log.  The
+// overlap framework keeps a fixed-size queue and produces the bounds
+// directly.  bench/extra_trace_cost quantifies the difference on a NAS
+// kernel; this class also shows that third-party tools can attach to the
+// instrumented library without touching it (hooks fire in zero virtual
+// time).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "mpi/hooks.hpp"
+#include "util/types.hpp"
+
+namespace ovp::mpi {
+
+class Mpi;
+
+class TraceRecorder {
+ public:
+  enum class Kind : std::uint8_t {
+    CallEnter,
+    CallExit,
+    XferBegin,
+    XferEnd,
+    Match,
+  };
+
+  struct Entry {
+    Kind kind;
+    TimeNs time;
+    Bytes bytes;  // XferBegin/Match payload size; 0 otherwise
+    Rank source;  // Match only; -1 otherwise
+    int tag;      // Match only; 0 otherwise
+  };
+
+  /// Builds the hook set that appends to this recorder; pass the result to
+  /// Mpi::setHooks.  The recorder must outlive the Mpi instance.
+  [[nodiscard]] EventHooks hooks();
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t eventCount() const { return entries_.size(); }
+
+  /// Bytes of trace storage consumed so far (the quantity that grows
+  /// without bound, unlike the framework's fixed queue).
+  [[nodiscard]] std::size_t memoryBytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+  /// Writes one CSV row per event: kind,time_ns,bytes,source,tag.
+  void writeCsv(std::ostream& os) const;
+
+  /// Derives total in-call time from the trace (a sanity cross-check
+  /// against the framework's communication_call_time).
+  [[nodiscard]] DurationNs callTimeFromTrace() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ovp::mpi

@@ -1,0 +1,34 @@
+// Internal wire-protocol definitions of the simulated MPI library.
+//
+// Control packets (RTS/ACK/FIN) implement the rendezvous protocols.  Per
+// the PERUSE-style definition the instrumentation never stamps XFER events
+// for them — only for packets/work-requests that move user-message bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ovp::mpi::wire {
+
+/// net::Packet::channel values used by the MPI library.
+enum Channel : int {
+  kEager = 1,    // header + full user payload
+  kRts = 2,      // rendezvous request-to-send (+ first fragment if pipelined)
+  kAck = 3,      // receiver's clear-to-send, carries receive-buffer address
+  kFinToRecv = 4,  // sender -> receiver: all RDMA-Write fragments are placed
+  kFinToSend = 5,  // receiver -> sender: RDMA Read of your buffer completed
+};
+
+/// Fixed-size header prepended to every MPI packet payload.
+struct Header {
+  Rank src = -1;
+  int tag = 0;
+  Bytes msg_bytes = 0;    // full user-message size
+  Bytes frag_bytes = 0;   // bytes of user data carried in this packet
+  std::uint64_t seq = 0;  // sender-side message sequence (matches replies)
+  std::uint64_t peer_seq = 0;  // receiver-side id echoed in FIN-to-recv
+  std::uintptr_t addr = 0;     // exposed buffer (RTS: send buf; ACK: recv buf)
+};
+
+}  // namespace ovp::mpi::wire

@@ -1,0 +1,25 @@
+// NAS BT reproduction: block-tridiagonal ADI solver.
+//
+// Same time-step skeleton as SP (ghost-face exchange, rhs stencil, x/y/z
+// directional solves over a 2-D process grid) but each line solve inverts a
+// block-tridiagonal system with dense 5x5 blocks — the per-line
+// rank-boundary payload is a full normalized block plus rhs (30 doubles)
+// instead of SP's 14, so BT's traffic is dominated by long messages.  The
+// paper characterizes BT (Fig. 10) with Open MPI's pipelined-RDMA mode,
+// where long messages overlap only their first fragment — hence BT's
+// overlap measures come out below CG's (Sec. 4.1).
+//
+// Scaled classes (original in parens): S 24x24x12 (12^3), A 36x36x16
+// (64^3), B 48x48x24 (102^3).
+#pragma once
+
+#include "nas/common.hpp"
+
+namespace ovp::nas {
+
+/// Runs BT; checksum = final solution norm (partition-invariant up to
+/// reduction rounding).  verified = block solves contract, a sampled local
+/// z-line solves exactly, and all norms stay finite.
+[[nodiscard]] NasResult runBt(const NasParams& params);
+
+}  // namespace ovp::nas

@@ -1,0 +1,27 @@
+// NAS CG reproduction: conjugate-gradient eigenvalue kernel.
+//
+// Structure follows NPB CG: an outer inverse-power iteration computing a
+// shifted eigenvalue estimate (zeta), each step solving A z = x with a
+// fixed number of CG iterations on a sparse symmetric positive-definite
+// matrix distributed by block rows.
+//
+// Communication per CG iteration, as in the original: the matrix-vector
+// product exchanges vector segments with every peer (posted early, waited
+// late, with the *local* block's work in between — the code's own overlap
+// attempt), plus two one-element allreduce dot products.  The resulting
+// traffic is dominated by short messages, which is why the paper measures
+// higher overlap for CG than for BT (Sec. 4.1).
+//
+// Scaled classes (original NPB in parens): S n=1024 (1400), A n=4096
+// (14000), B n=16384 (75000).
+#pragma once
+
+#include "nas/common.hpp"
+
+namespace ovp::nas {
+
+/// Runs CG; checksum = final zeta.  verified = CG residual dropped by the
+/// expected factor and zeta is finite.
+[[nodiscard]] NasResult runCg(const NasParams& params);
+
+}  // namespace ovp::nas

@@ -1,0 +1,94 @@
+#include "nas/common.hpp"
+
+#include <cmath>
+
+namespace ovp::nas {
+
+overlap::OverlapAccum aggregateWhole(
+    const std::vector<overlap::Report>& reports) {
+  overlap::OverlapAccum acc;
+  for (const auto& r : reports) {
+    acc.transfers += r.whole.total.transfers;
+    acc.bytes += r.whole.total.bytes;
+    acc.data_transfer_time += r.whole.total.data_transfer_time;
+    acc.min_overlapped += r.whole.total.min_overlapped;
+    acc.max_overlapped += r.whole.total.max_overlapped;
+  }
+  return acc;
+}
+
+overlap::OverlapAccum aggregateSection(
+    const std::vector<overlap::Report>& reports, std::string_view name) {
+  overlap::OverlapAccum acc;
+  for (const auto& r : reports) {
+    const overlap::SectionReport* s = r.findSection(name);
+    if (s == nullptr) continue;
+    acc.transfers += s->total.transfers;
+    acc.bytes += s->total.bytes;
+    acc.data_transfer_time += s->total.data_transfer_time;
+    acc.min_overlapped += s->total.min_overlapped;
+    acc.max_overlapped += s->total.max_overlapped;
+  }
+  return acc;
+}
+
+mpi::JobConfig makeJobConfig(const NasParams& p) {
+  mpi::JobConfig cfg;
+  cfg.nranks = p.nranks;
+  cfg.fabric = p.fabric;
+  cfg.mpi.preset = p.preset;
+  cfg.mpi.instrument = p.instrument;
+  // Per-size-class breakdown like the paper's reports.
+  cfg.mpi.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
+  return cfg;
+}
+
+BlockDist blockDistribute(int n, int parts) {
+  BlockDist d;
+  d.start.resize(static_cast<std::size_t>(parts));
+  d.size.resize(static_cast<std::size_t>(parts));
+  const int base = n / parts;
+  const int rem = n % parts;
+  int at = 0;
+  for (int i = 0; i < parts; ++i) {
+    const int sz = base + (i < rem ? 1 : 0);
+    d.start[static_cast<std::size_t>(i)] = at;
+    d.size[static_cast<std::size_t>(i)] = sz;
+    at += sz;
+  }
+  return d;
+}
+
+Grid2D factor2d(int p) {
+  Grid2D g;
+  for (int px = 1; px * px <= p; ++px) {
+    if (p % px == 0) {
+      g.px = px;
+      g.py = p / px;
+    }
+  }
+  return g;
+}
+
+Grid3D factor3d(int p) {
+  Grid3D best;
+  best.pz = p;
+  double best_spread = static_cast<double>(p);
+  for (int a = 1; a * a * a <= p; ++a) {
+    if (p % a != 0) continue;
+    const Grid2D rest = factor2d(p / a);
+    const int b = std::min(rest.px, rest.py);
+    const int c = std::max(rest.px, rest.py);
+    if (a > b) continue;
+    const double spread = static_cast<double>(c) / a;
+    if (spread < best_spread) {
+      best_spread = spread;
+      best.px = a;
+      best.py = b;
+      best.pz = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ovp::nas

@@ -1,0 +1,26 @@
+// NAS EP reproduction: embarrassingly parallel Gaussian-deviate kernel.
+//
+// Each rank generates its slice of a single global random sequence (NPB's
+// multiplicative LCG with the standard power-of-a skip-ahead), turns pairs
+// into Gaussian deviates by the acceptance-rejection (Marsaglia polar)
+// scheme, and tallies them into ten concentric square annuli.  The only
+// communication is a final handful of small reductions — the paper omits
+// EP from its figures precisely because it "performs minimal
+// communication" (Sec. 4); this kernel exists to validate that claim
+// quantitatively (see tests and bench/extra_nas_ep_is).
+//
+// Scaled classes (original in parens): S 2^16 pairs (2^24), A 2^19 (2^28),
+// B 2^21 (2^30).
+#pragma once
+
+#include "nas/common.hpp"
+
+namespace ovp::nas {
+
+/// Runs EP; checksum = sum of the Gaussian-deviate sums (sx + sy).
+/// verified = annulus counts equal the accepted-pair count and the result
+/// is independent of the rank count (the skip-ahead makes the global
+/// sequence identical under any partitioning).
+[[nodiscard]] NasResult runEp(const NasParams& params);
+
+}  // namespace ovp::nas

@@ -1,0 +1,66 @@
+#include "nas/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ovp::nas {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+int log2i(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+}  // namespace
+
+void fftStrided(Complex* data, int n, int stride, int sign) {
+  assert((n & (n - 1)) == 0 && "fft length must be a power of two");
+  auto at = [&](int i) -> Complex& { return data[i * stride]; };
+  // Bit-reversal permutation.
+  const int bits = log2i(n);
+  for (int i = 1; i < n; ++i) {
+    int j = 0;
+    for (int b = 0; b < bits; ++b) j |= ((i >> b) & 1) << (bits - 1 - b);
+    if (j > i) std::swap(at(i), at(j));
+  }
+  // Danielson-Lanczos butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * kPi / len;
+    const Complex wl(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const Complex u = at(i + k);
+        const Complex v = at(i + k + len / 2) * w;
+        at(i + k) = u + v;
+        at(i + k + len / 2) = u - v;
+        w *= wl;
+      }
+    }
+  }
+}
+
+void fft(Complex* data, int n, int sign) { fftStrided(data, n, 1, sign); }
+
+std::vector<Complex> dftReference(const std::vector<Complex>& in, int sign) {
+  const int n = static_cast<int>(in.size());
+  std::vector<Complex> out(in.size());
+  for (int k = 0; k < n; ++k) {
+    Complex acc(0, 0);
+    for (int j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * kPi * k * j / n;
+      acc += in[static_cast<std::size_t>(j)] *
+             Complex(std::cos(ang), std::sin(ang));
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+std::int64_t fftFlops(int n) {
+  return 5LL * n * log2i(n);
+}
+
+}  // namespace ovp::nas

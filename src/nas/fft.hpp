@@ -1,0 +1,28 @@
+// In-place iterative radix-2 complex FFT used by the FT kernel.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ovp::nas {
+
+using Complex = std::complex<double>;
+
+/// In-place forward (sign=-1) or inverse (sign=+1) FFT of length n (power
+/// of two).  The inverse is unscaled (caller divides by n if needed).
+void fft(Complex* data, int n, int sign);
+
+/// Strided variant: transforms the length-n sequence data[0], data[stride],
+/// data[2*stride], ...
+void fftStrided(Complex* data, int n, int stride, int sign);
+
+/// O(n^2) reference DFT for testing.
+[[nodiscard]] std::vector<Complex> dftReference(const std::vector<Complex>& in,
+                                                int sign);
+
+/// Flops of one radix-2 FFT of length n (the usual 5 n log2 n estimate).
+[[nodiscard]] std::int64_t fftFlops(int n);
+
+}  // namespace ovp::nas

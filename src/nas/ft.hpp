@@ -1,0 +1,26 @@
+// NAS FT reproduction: 3-D FFT PDE solver.
+//
+// Structure follows NPB FT with a 1-D slab decomposition: the forward 3-D
+// transform does local x and y FFTs on z-slabs, a global transpose
+// (Alltoall) to x-slabs, and a local z FFT.  Each time step evolves the
+// spectrum locally and inverse-transforms, paying one Alltoall per
+// iteration.  The Alltoall moves long messages while every rank sits
+// inside the collective — the paper's explanation for FT's low overlap
+// (Sec. 4.2); the small Reduce used by the checksum is the only
+// short-message traffic.
+//
+// Scaled classes (original in parens): S 32^3 (64^3), A 64^3 (256^2
+// x128), B 128x64x64 (512x256^2).  nx and nz must be divisible by the
+// rank count.
+#pragma once
+
+#include "nas/common.hpp"
+
+namespace ovp::nas {
+
+/// Runs FT; checksum = real part of the final NPB-style sampled checksum.
+/// verified = Parseval identity holds after the forward transform and all
+/// checksums are finite.
+[[nodiscard]] NasResult runFt(const NasParams& params);
+
+}  // namespace ovp::nas

@@ -1,0 +1,26 @@
+// NAS IS reproduction: parallel integer bucket sort.
+//
+// Each iteration generates nothing new — the keys are fixed — but re-ranks
+// them the NPB way: local bucket histogram, an Allreduce of bucket counts
+// to find the global splitters, then an all-to-all-v redistribution of the
+// keys so rank r ends up with the r-th contiguous key range, which it
+// ranks locally.  The redistribution moves ~N/P keys per rank in long
+// messages while every process sits inside the exchange, so IS "exhibits
+// similar overlap behavior to FT" — the paper's stated reason for omitting
+// it (Sec. 4).  This kernel exists to validate that claim (see
+// bench/extra_nas_ep_is).
+//
+// Scaled classes (original in parens): S 2^15 keys (2^16), A 2^18 (2^23),
+// B 2^20 (2^25); key range 2^11/2^14/2^16.
+#pragma once
+
+#include "nas/common.hpp"
+
+namespace ovp::nas {
+
+/// Runs IS; checksum = weighted sum of the globally sorted key sequence.
+/// verified = keys are globally sorted and none were lost, every
+/// iteration.
+[[nodiscard]] NasResult runIs(const NasParams& params);
+
+}  // namespace ovp::nas

@@ -1,0 +1,27 @@
+// NAS LU reproduction: SSOR-style wavefront solver.
+//
+// Structure follows NPB LU: a 3-D grid with 5 solution components is
+// decomposed over a 2-D (x,y) process grid; each symmetric Gauss-Seidel
+// sweep pipelines k-planes as a wavefront — for every plane a rank receives
+// one boundary column/row from its west/north neighbors (a few KB), relaxes
+// its block, and forwards its east/south boundary.  A full ghost-face
+// exchange precedes each iteration (the longer messages of the RHS phase).
+//
+// The message mix — thousands of small pipelined messages plus a few
+// medium faces — is what gives LU its high measured overlap in the paper
+// (Sec. 4.2, Fig. 12), rising as blocks shrink (more ranks / smaller
+// class).
+//
+// Scaled classes (original in parens): S 16^2x8 (12^3), A 32^2x16 (64^3),
+// B 48^2x24 (102^3).
+#pragma once
+
+#include "nas/common.hpp"
+
+namespace ovp::nas {
+
+/// Runs LU; checksum = final residual norm.  verified = the smoother
+/// reduced the residual monotonically and substantially.
+[[nodiscard]] NasResult runLu(const NasParams& params);
+
+}  // namespace ovp::nas

@@ -1,0 +1,38 @@
+#include "net/memreg.hpp"
+
+namespace ovp::net {
+
+namespace {
+constexpr Bytes kPage = 4096;
+}
+
+DurationNs RegistrationCache::registerRegion(const void* ptr, Bytes size) {
+  const Key key{reinterpret_cast<std::uintptr_t>(ptr), size};
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return params_->reg_cache_hit;
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_ && !lru_.empty()) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  index_[key] = lru_.begin();
+  const Bytes pages = (size + kPage - 1) / kPage;
+  return params_->reg_base + pages * params_->reg_per_page;
+}
+
+bool RegistrationCache::isCached(const void* ptr, Bytes size) const {
+  return index_.find(Key{reinterpret_cast<std::uintptr_t>(ptr), size}) !=
+         index_.end();
+}
+
+void RegistrationCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace ovp::net

@@ -1,0 +1,60 @@
+// Registration (pinning) cache model.
+//
+// RDMA requires the pages of a buffer to be registered with the NIC.
+// Registration is expensive (syscall + page pinning); real libraries keep a
+// most-recently-used cache of registrations (Open MPI's mpi_leave_pinned,
+// MVAPICH2's on-the-fly pinning with a cache).  The cache determines the
+// host-side cost a protocol pays before it can post an RDMA work request.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "net/params.hpp"
+#include "util/types.hpp"
+
+namespace ovp::net {
+
+class RegistrationCache {
+ public:
+  RegistrationCache(const FabricParams& params, std::size_t capacity_entries)
+      : params_(&params), capacity_(capacity_entries) {}
+
+  /// Registers [ptr, ptr+size) and returns the host time the caller must
+  /// charge: a miss pays base + per-page; a hit pays the lookup cost.
+  /// Regions are tracked at exact (ptr,size) granularity — adequate because
+  /// applications reuse whole buffers.
+  DurationNs registerRegion(const void* ptr, Bytes size);
+
+  /// True if the exact region is currently cached (no cost charged).
+  [[nodiscard]] bool isCached(const void* ptr, Bytes size) const;
+
+  [[nodiscard]] std::size_t entries() const { return lru_.size(); }
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+
+  void clear();
+
+ private:
+  struct Key {
+    std::uintptr_t ptr;
+    Bytes size;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uintptr_t>{}(k.ptr) ^
+             (std::hash<std::int64_t>{}(k.size) << 1);
+    }
+  };
+
+  const FabricParams* params_;
+  std::size_t capacity_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator, KeyHash> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace ovp::net

@@ -1,0 +1,131 @@
+// NIC model: per-rank network interface with an autonomous DMA engine.
+//
+// The central behavioural property (the reason latency hiding is possible
+// at all, paper Sec. 1) is that once the host *posts* a work request, the
+// NIC moves the data in virtual time with no further host involvement; the
+// host only learns about progress by *polling* the completion / receive
+// queues.  Whenever the NIC deposits a CQ entry or received packet it also
+// pokes the owning rank's wake token, so a rank sleeping inside a library
+// progress loop resumes at the right virtual time — but a rank busy
+// computing stays busy, and discovers the event only at its next library
+// call.  That asymmetry is what the paper's instrumentation measures.
+//
+// Timing model per transfer of S wire bytes from NIC a to NIC b:
+//   first_byte_out  t0  = max(post + nic_setup, a.tx_busy)
+//   last_byte_out       = t0 + S*G        (a.tx_busy updated)
+//   first_byte_in       = max(t0 + L, b.rx_busy)
+//   arrival             = first_byte_in + S*G   (b.rx_busy updated)
+// which reduces to t0 + L + S*G on an unloaded path, and models egress and
+// ingress port contention under load (e.g. FT's Alltoall).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/memreg.hpp"
+#include "net/packet.hpp"
+#include "net/params.hpp"
+#include "sim/engine.hpp"
+#include "util/types.hpp"
+
+namespace ovp::net {
+
+class Fabric;
+
+class Nic {
+ public:
+  Nic(Fabric& fabric, Rank owner);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Posts a two-sided send of `pkt` to rank dst.  A local Send completion
+  /// appears on this NIC's CQ when the last byte leaves; the packet appears
+  /// on dst's receive queue at arrival time.  Returns the work id.
+  WorkId postSend(Rank dst, Packet pkt);
+
+  /// Posts an RDMA Write of `size` bytes from local memory `src` into
+  /// remote memory `dst_ptr` on rank dst.  Data is captured when the last
+  /// byte leaves the source and placed remotely at arrival.  If
+  /// `notify` is non-null it is delivered to dst's receive queue after the
+  /// data (same-QP ordering), modelling a write-completion control message.
+  WorkId postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
+                       const Packet* notify = nullptr);
+
+  /// Posts an RDMA Read of `size` bytes from remote memory `remote_src` on
+  /// rank target into local memory `local_dst`.  The local RdmaRead
+  /// completion appears when the data has fully arrived.
+  WorkId postRdmaRead(Rank target, void* local_dst, const void* remote_src,
+                      Bytes size);
+
+  /// RDMA Write variant whose remote placement is performed by `apply`
+  /// (staged source bytes, destination pointer) instead of a plain copy —
+  /// the mechanism behind one-sided accumulate operations, where the
+  /// target-side NIC/agent combines incoming data into memory.
+  WorkId postRdmaApply(
+      Rank dst, const void* src, void* dst_ptr, Bytes size,
+      std::function<void(const std::byte* staged, void* dst, Bytes n)> apply);
+
+  /// Non-blocking CQ poll; true if a completion was dequeued into `out`.
+  /// The *host cost* of polling is charged by the library layer, not here.
+  bool pollCompletion(Completion& out);
+
+  /// Non-blocking receive-queue poll.
+  bool pollRecv(Packet& out);
+
+  [[nodiscard]] bool hasCompletion() const { return !cq_.empty(); }
+  [[nodiscard]] bool hasRecv() const { return !rq_.empty(); }
+
+  /// Registration cache for this HCA.
+  [[nodiscard]] RegistrationCache& regCache() { return reg_cache_; }
+
+  /// Counters (diagnostics / tests).
+  [[nodiscard]] std::int64_t packetsDelivered() const {
+    return packets_delivered_;
+  }
+  [[nodiscard]] Bytes bytesSent() const { return bytes_sent_; }
+
+ private:
+  friend class Fabric;
+
+  /// Computes the wire schedule for S bytes from this NIC to `dst`, starting
+  /// no earlier than `ready`; updates both ports' busy times.  Returns
+  /// {last_byte_out, arrival}.
+  struct WireTimes {
+    TimeNs last_byte_out;
+    TimeNs arrival;
+  };
+  WireTimes reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready);
+
+  void depositCompletion(Completion c);
+  void depositPacket(Packet pkt);
+
+  Fabric& fabric_;
+  Rank owner_;
+  RegistrationCache reg_cache_;
+  std::deque<Completion> cq_;
+  std::deque<Packet> rq_;
+  TimeNs tx_busy_ = 0;
+  TimeNs rx_busy_ = 0;
+  WorkId next_work_ = 1;
+  std::int64_t packets_delivered_ = 0;
+  Bytes bytes_sent_ = 0;
+};
+
+/// The cluster fabric: one NIC per rank plus the shared timing parameters
+/// and the owning simulation engine.
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, FabricParams params, int nranks);
+
+  [[nodiscard]] Nic& nic(Rank r) { return *nics_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] const FabricParams& params() const { return params_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] int size() const { return static_cast<int>(nics_.size()); }
+
+ private:
+  sim::Engine& engine_;
+  FabricParams params_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace ovp::net

@@ -1,0 +1,52 @@
+// Two-sided packet and completion-queue entry types for the NIC model.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ovp::net {
+
+/// Identifier of a posted work request, unique per NIC.
+using WorkId = std::int64_t;
+
+/// A two-sided message as seen by the receiving NIC: eager user data or a
+/// library control packet (RTS/CTS/ACK/FIN...).  `channel` discriminates the
+/// consumer protocol; `payload` is an opaque header+data blob.
+struct Packet {
+  Rank src = -1;
+  int channel = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Kind of work request a completion refers to.
+enum class WorkType : std::uint8_t { Send, RdmaWrite, RdmaRead };
+
+/// Local completion-queue entry, produced by the NIC when a posted work
+/// request finishes, discovered by the host only via polling.
+struct Completion {
+  WorkId id = -1;
+  WorkType type = WorkType::Send;
+};
+
+/// Serialization helpers for fixed-layout control headers.
+template <typename T>
+std::vector<std::byte> packPod(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> bytes(sizeof(T));
+  std::memcpy(bytes.data(), &value, sizeof(T));
+  return bytes;
+}
+
+template <typename T>
+T unpackPod(const std::vector<std::byte>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  std::memcpy(&value, bytes.data(), sizeof(T));
+  return value;
+}
+
+}  // namespace ovp::net

@@ -1,0 +1,65 @@
+// Timing parameters of the simulated cluster fabric.
+//
+// The defaults approximate the paper's test platform (Sec. 3.1): dual-Xeon
+// nodes on 8 Gbit/s Mellanox InfiniBand (PCI-X HCAs), one process per node.
+// 8 Gbit/s ~ 1 byte/ns on the wire; end-to-end small-message latency a few
+// microseconds; on-the-fly memory registration is expensive and paged.
+// Absolute values only need to be plausible — the reproduced figures depend
+// on ratios and mechanisms, not constants.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace ovp::net {
+
+struct FabricParams {
+  /// Wire + switch latency, first byte out to first byte in (L).
+  DurationNs wire_latency = 1500;
+
+  /// Serialization cost per byte at each port (G).  1.0 ~ 1 GB/s links.
+  double ns_per_byte = 1.0;
+
+  /// NIC processing time between a work-request post and the first byte
+  /// leaving (DMA engine setup / doorbell handling).
+  DurationNs nic_setup = 300;
+
+  /// Host CPU cost to post one work request (charged to the posting rank by
+  /// the library layer).
+  DurationNs post_overhead = 200;
+
+  /// Host CPU cost of one completion-queue poll (hit or miss).
+  DurationNs cq_poll_cost = 100;
+
+  /// Host memcpy bandwidth for bounce-buffer copies (eager protocol),
+  /// ns per byte (0.3 ~ 3.3 GB/s).
+  double host_copy_ns_per_byte = 0.3;
+
+  /// Memory-registration (pinning) cost model: base + per-4KiB-page, paid on
+  /// a registration-cache miss; hits cost reg_cache_hit.
+  DurationNs reg_base = 5000;
+  DurationNs reg_per_page = 250;
+  DurationNs reg_cache_hit = 150;
+
+  /// Wire size of a zero-payload control packet (headers).
+  Bytes header_bytes = 64;
+
+  /// Returns serialization time for n bytes at one port.
+  [[nodiscard]] DurationNs serialize(Bytes n) const {
+    return static_cast<DurationNs>(static_cast<double>(n) * ns_per_byte);
+  }
+
+  /// Returns host memcpy time for n bytes.
+  [[nodiscard]] DurationNs hostCopy(Bytes n) const {
+    return static_cast<DurationNs>(static_cast<double>(n) *
+                                   host_copy_ns_per_byte);
+  }
+
+  /// Unloaded one-way time for a message of n payload bytes (diagnostic /
+  /// analytic ground truth; the calibration bench measures this empirically
+  /// the way the paper used perf_main).
+  [[nodiscard]] DurationNs unloadedTransfer(Bytes n) const {
+    return nic_setup + serialize(n + header_bytes) + wire_latency;
+  }
+};
+
+}  // namespace ovp::net

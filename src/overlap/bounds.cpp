@@ -1,0 +1,31 @@
+#include "overlap/bounds.hpp"
+
+#include <algorithm>
+
+namespace ovp::overlap {
+
+Bounds computeBounds(const BoundsInput& in) {
+  Bounds b;
+  if (in.xfer_time <= 0) return b;
+
+  if (!(in.begin_seen && in.end_seen)) {
+    // Case 3: impossible to be conclusive about the achieved overlap.
+    b.min_overlap = 0;
+    b.max_overlap = in.xfer_time;
+    return b;
+  }
+  if (in.same_call) {
+    // Case 1: the transfer happened while the application sat inside the
+    // communication library; no useful computation was possible.
+    return b;
+  }
+  // Case 2.
+  b.max_overlap = std::min(in.computation, in.xfer_time);
+  b.min_overlap = std::max<DurationNs>(0, in.xfer_time - in.noncomputation);
+  // min cannot exceed max: if noncomputation is small but computation is
+  // also small, the true overlap is still capped by available computation.
+  b.min_overlap = std::min(b.min_overlap, b.max_overlap);
+  return b;
+}
+
+}  // namespace ovp::overlap

@@ -1,0 +1,41 @@
+// The paper's three-case overlap-bound algorithm (Sec. 2.2) as a pure
+// function, so it can be tested exhaustively in isolation.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+
+/// Everything the bound computation needs to know about one completed (or
+/// abandoned) data-transfer operation.
+struct BoundsInput {
+  /// Whether the library stamped XFER_BEGIN / XFER_END for this op.
+  bool begin_seen = false;
+  bool end_seen = false;
+  /// True when both stamps happened within the same communication call.
+  bool same_call = false;
+  /// Total user-computation time between the two stamps.
+  DurationNs computation = 0;
+  /// Total in-library (non-computation) time between the two stamps.
+  DurationNs noncomputation = 0;
+  /// A-priori physical transfer time for this op's size (from the
+  /// XferTimeTable, the paper's perf_main-derived table).
+  DurationNs xfer_time = 0;
+};
+
+/// Lower and upper bound on how much of xfer_time was overlapped with user
+/// computation.
+struct Bounds {
+  DurationNs min_overlap = 0;
+  DurationNs max_overlap = 0;
+};
+
+/// Case 1: both stamps in one call           -> min = max = 0.
+/// Case 2: stamps in different calls         ->
+///           max = min(computation, xfer_time)
+///           min = max(0, xfer_time - noncomputation)
+/// Case 3: only one stamp observed           -> min = 0, max = xfer_time.
+/// Invariant: 0 <= min <= max <= xfer_time.
+[[nodiscard]] Bounds computeBounds(const BoundsInput& in);
+
+}  // namespace ovp::overlap

@@ -1,0 +1,70 @@
+// Event model of the instrumentation framework (paper Sec. 2.1).
+//
+// Four PERUSE-inspired events are timestamped by the communication library:
+//   CALL_ENTER / CALL_EXIT  — application enters/leaves the library;
+//                             these demarcate user computation vs
+//                             communication-call regions.
+//   XFER_BEGIN / XFER_END   — the library's best approximation of the start
+//                             and completion of one *data transfer
+//                             operation* moving user-message bytes (control
+//                             packets are never stamped).
+// A fragmented message produces one XFER_BEGIN/XFER_END pair per fragment:
+// the paper computes overlap "on a per-data-transfer basis", which is what
+// makes pipelined-RDMA's inability to overlap anything but the first
+// fragment visible (Sec. 3.5).
+//
+// This module additionally defines marker events that keep attribution
+// exact across application-controlled monitoring regions:
+//   SECTION_BEGIN / SECTION_END — named code-region markers;
+//   DISABLE / ENABLE            — monitoring paused: the interval between
+//                                 them is excluded from all measures.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+
+enum class EventType : std::uint8_t {
+  CallEnter,
+  CallExit,
+  XferBegin,
+  XferEnd,
+  SectionBegin,
+  SectionEnd,
+  Disable,
+  Enable,
+};
+
+/// Interned section label; 0 is reserved for "<all>" (whole run totals).
+using SectionId = std::int32_t;
+inline constexpr SectionId kSectionAll = 0;
+
+/// One timestamped event in the collection queue.  Fixed-size and POD so
+/// the queue is a statically allocated circular structure (paper Sec. 2.4).
+struct Event {
+  EventType type = EventType::CallEnter;
+  TimeNs time = 0;
+  /// XferBegin/XferEnd: transfer id.  SectionBegin/End: section id.
+  std::int64_t id = 0;
+  /// XferBegin: bytes this data-transfer op moves.  XferEnd: same (allows an
+  /// END with no observed BEGIN, the paper's case 3).
+  Bytes size = 0;
+};
+
+[[nodiscard]] constexpr const char* eventTypeName(EventType t) {
+  switch (t) {
+    case EventType::CallEnter: return "CALL_ENTER";
+    case EventType::CallExit: return "CALL_EXIT";
+    case EventType::XferBegin: return "XFER_BEGIN";
+    case EventType::XferEnd: return "XFER_END";
+    case EventType::SectionBegin: return "SECTION_BEGIN";
+    case EventType::SectionEnd: return "SECTION_END";
+    case EventType::Disable: return "DISABLE";
+    case EventType::Enable: return "ENABLE";
+  }
+  return "?";
+}
+
+}  // namespace ovp::overlap

@@ -1,0 +1,97 @@
+#include "overlap/monitor.hpp"
+
+namespace ovp::overlap {
+
+Monitor::Monitor(MonitorConfig cfg, Rank rank)
+    : cfg_(std::move(cfg)),
+      rank_(rank),
+      queue_(cfg_.queue_capacity),
+      processor_(cfg_.table, cfg_.classes),
+      enabled_(cfg_.start_enabled) {}
+
+DurationNs Monitor::log(Event e) {
+  DurationNs cost = cfg_.event_cost;
+  if (queue_.full()) cost += drain();
+  queue_.push(e);
+  ++events_logged_;
+  return cost;
+}
+
+DurationNs Monitor::drain() {
+  const auto n = queue_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    processor_.consume(queue_.at(i));
+  }
+  queue_.clear();
+  ++drains_;
+  return static_cast<DurationNs>(n) * cfg_.drain_cost_per_event;
+}
+
+DurationNs Monitor::callEnter(TimeNs t) {
+  if (finalized_ || !enabled_) {
+    ++call_depth_;  // depth must track even while disabled
+    return 0;
+  }
+  if (call_depth_++ > 0) return 0;
+  return log({EventType::CallEnter, t, 0, 0});
+}
+
+DurationNs Monitor::callExit(TimeNs t) {
+  if (finalized_ || !enabled_) {
+    --call_depth_;
+    return 0;
+  }
+  if (--call_depth_ > 0) return 0;
+  return log({EventType::CallExit, t, 0, 0});
+}
+
+std::pair<TransferId, DurationNs> Monitor::xferBegin(TimeNs t, Bytes size) {
+  if (finalized_ || !enabled_) return {kInvalidTransfer, 0};
+  const TransferId id = next_transfer_++;
+  return {id, log({EventType::XferBegin, t, id, size})};
+}
+
+DurationNs Monitor::xferEnd(TimeNs t, TransferId id) {
+  if (finalized_ || !enabled_ || id == kInvalidTransfer) return 0;
+  return log({EventType::XferEnd, t, id, 0});
+}
+
+DurationNs Monitor::xferEndUnmatched(TimeNs t, Bytes size) {
+  if (finalized_ || !enabled_) return 0;
+  return log({EventType::XferEnd, t, kInvalidTransfer, size});
+}
+
+DurationNs Monitor::sectionBegin(TimeNs t, std::string_view name) {
+  if (finalized_ || !enabled_) return 0;
+  const SectionId id = processor_.internSection(name);
+  return log({EventType::SectionBegin, t, id, 0});
+}
+
+DurationNs Monitor::sectionEnd(TimeNs t) {
+  if (finalized_ || !enabled_) return 0;
+  return log({EventType::SectionEnd, t, 0, 0});
+}
+
+DurationNs Monitor::setEnabled(TimeNs t, bool on) {
+  if (finalized_ || on == enabled_) return 0;
+  if (!on) {
+    // Stamp the start of the excluded interval, then stop logging.
+    const DurationNs cost = log({EventType::Disable, t, 0, 0});
+    enabled_ = false;
+    return cost;
+  }
+  enabled_ = true;
+  return log({EventType::Enable, t, 0, 0});
+}
+
+const Report& Monitor::report(TimeNs end_time) {
+  if (finalized_) return final_report_;
+  (void)drain();
+  final_report_ = processor_.finalize(rank_, end_time);
+  final_report_.events_logged = events_logged_;
+  final_report_.queue_drains = drains_;
+  finalized_ = true;
+  return final_report_;
+}
+
+}  // namespace ovp::overlap

@@ -1,0 +1,124 @@
+// Monitor: the per-process instance of the instrumentation framework
+// (paper Fig. 2).
+//
+// A communication library owns one Monitor per process and calls the hook
+// methods at its instrumentation points.  Events are appended to a
+// fixed-size circular queue (the data-collection module); when the queue is
+// full it is drained through the Processor (the data-processing module),
+// which updates overlap measures on-the-fly and resets the queue.  At
+// MPI_Finalize the library calls report(), which drains whatever remains,
+// closes open transfers, and yields the per-process Report.
+//
+// Every hook returns the virtual-time cost the caller must charge to the
+// calling rank (event logging plus, occasionally, a drain).  This is how
+// the framework's own overhead becomes measurable (paper Sec. 4.5 /
+// Fig. 20): an uninstrumented run simply has no Monitor and charges
+// nothing.
+//
+// The framework is process-local by construction: no hook ever performs
+// inter-process communication, so instrumentation scales with processor
+// count (paper Sec. 2.4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "overlap/events.hpp"
+#include "overlap/processor.hpp"
+#include "overlap/report.hpp"
+#include "overlap/size_classes.hpp"
+#include "overlap/xfer_table.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+
+struct MonitorConfig {
+  /// Capacity of the circular event queue.
+  std::size_t queue_capacity = 4096;
+  /// Message-size breakdown for the report.
+  SizeClasses classes = SizeClasses::shortLong(16 * 1024);
+  /// A-priori transfer times; read "from disk into memory during
+  /// application startup" in the paper (our MPI layer loads it in Init).
+  XferTimeTable table;
+  /// Host cost charged per logged event (a cycle-counter read plus a store
+  /// into the preallocated queue).
+  DurationNs event_cost = 15;
+  /// Host cost per event folded in during a queue drain.
+  DurationNs drain_cost_per_event = 8;
+  /// Start enabled?  (Application may toggle at run time.)
+  bool start_enabled = true;
+};
+
+class Monitor {
+ public:
+  Monitor(MonitorConfig cfg, Rank rank);
+
+  // ---- library-side instrumentation points ----
+  // Nested library calls are tolerated: only the outermost level stamps
+  // CALL_ENTER/CALL_EXIT (collectives built over point-to-point would
+  // otherwise double-count).
+
+  [[nodiscard]] DurationNs callEnter(TimeNs t);
+  [[nodiscard]] DurationNs callExit(TimeNs t);
+
+  /// Stamps XFER_BEGIN for a new data-transfer op of `size` bytes; the
+  /// returned id must be passed to xferEnd.  Returns kInvalidTransfer (and
+  /// zero cost) while disabled.
+  [[nodiscard]] std::pair<TransferId, DurationNs> xferBegin(TimeNs t,
+                                                            Bytes size);
+
+  /// Stamps XFER_END for a transfer started by xferBegin.  Accepts
+  /// kInvalidTransfer as a no-op so callers need no disabled-state checks.
+  [[nodiscard]] DurationNs xferEnd(TimeNs t, TransferId id);
+
+  /// Stamps an XFER_END with no matching BEGIN (paper case 3; e.g. eager
+  /// receive whose initiation was invisible to this process).
+  [[nodiscard]] DurationNs xferEndUnmatched(TimeNs t, Bytes size);
+
+  // ---- application-side controls ----
+
+  /// Opens/closes a named monitored region; regions may nest.
+  [[nodiscard]] DurationNs sectionBegin(TimeNs t, std::string_view name);
+  [[nodiscard]] DurationNs sectionEnd(TimeNs t);
+
+  /// Pauses/resumes monitoring; the disabled interval is excluded from all
+  /// measures.  Idempotent.
+  [[nodiscard]] DurationNs setEnabled(TimeNs t, bool on);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // ---- finalization ----
+
+  /// Drains the queue, closes open transfers and returns the report.
+  /// Idempotent; after the first call all hooks become no-ops.
+  const Report& report(TimeNs end_time);
+
+  /// True once report() has been called.
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] std::int64_t eventsLogged() const { return events_logged_; }
+  [[nodiscard]] std::int64_t queueDrains() const { return drains_; }
+  [[nodiscard]] const MonitorConfig& config() const { return cfg_; }
+
+ private:
+  /// Appends an event, draining first if the queue is full; returns cost.
+  DurationNs log(Event e);
+  DurationNs drain();
+
+  MonitorConfig cfg_;
+  Rank rank_;
+  util::RingBuffer<Event> queue_;
+  Processor processor_;
+  bool enabled_ = true;
+  bool finalized_ = false;
+  int call_depth_ = 0;
+  TransferId next_transfer_ = 1;
+  std::int64_t events_logged_ = 0;
+  std::int64_t drains_ = 0;
+  Report final_report_;
+};
+
+}  // namespace ovp::overlap

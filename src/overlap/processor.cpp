@@ -1,0 +1,188 @@
+#include "overlap/processor.hpp"
+
+#include <cassert>
+
+namespace ovp::overlap {
+
+Processor::Processor(const XferTimeTable& table, SizeClasses classes)
+    : table_(&table), classes_(std::move(classes)) {
+  SectionAccum whole;
+  whole.name = "<all>";
+  whole.by_class.resize(static_cast<std::size_t>(classes_.count()));
+  sections_.push_back(std::move(whole));
+}
+
+SectionId Processor::internSection(std::string_view name) {
+  const auto it = section_ids_.find(std::string(name));
+  if (it != section_ids_.end()) return it->second;
+  const SectionId id = static_cast<SectionId>(sections_.size());
+  SectionAccum acc;
+  acc.name = std::string(name);
+  acc.by_class.resize(static_cast<std::size_t>(classes_.count()));
+  sections_.push_back(std::move(acc));
+  section_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::vector<SectionId> Processor::currentSections() const {
+  std::vector<SectionId> ids;
+  ids.reserve(section_stack_.size() + 1);
+  ids.push_back(kSectionAll);
+  ids.insert(ids.end(), section_stack_.begin(), section_stack_.end());
+  return ids;
+}
+
+void Processor::advanceTo(TimeNs t) {
+  if (!started_) {
+    started_ = true;
+    first_time_ = last_time_ = t;
+    return;
+  }
+  assert(t >= last_time_ && "events must be time-ordered");
+  const DurationNs dt = t - last_time_;
+  last_time_ = t;
+  if (dt == 0) return;
+  if (disabled_) {
+    disabled_total_ += dt;
+    return;
+  }
+  if (in_call_) {
+    noncomp_cum_ += dt;
+    for (SectionId id : currentSections()) {
+      sections_[static_cast<std::size_t>(id)].communication_call_time += dt;
+    }
+  } else {
+    comp_cum_ += dt;
+    for (SectionId id : currentSections()) {
+      sections_[static_cast<std::size_t>(id)].computation_time += dt;
+    }
+  }
+}
+
+void Processor::recordTransfer(const ActiveXfer& x, const BoundsInput& in) {
+  const Bounds b = computeBounds(in);
+  if (!in.begin_seen || !in.end_seen) {
+    ++case3_;
+  } else if (in.same_call) {
+    ++case1_;
+  } else {
+    ++case2_;
+  }
+  const int cls = classes_.classOf(x.size);
+  for (SectionId id : x.attributed) {
+    SectionAccum& acc = sections_[static_cast<std::size_t>(id)];
+    acc.total.addTransfer(x.size, in.xfer_time, b);
+    acc.by_class[static_cast<std::size_t>(cls)].addTransfer(x.size,
+                                                            in.xfer_time, b);
+  }
+}
+
+void Processor::consume(const Event& e) {
+  advanceTo(e.time);
+  switch (e.type) {
+    case EventType::CallEnter: {
+      in_call_ = true;
+      ++call_index_;
+      for (SectionId id : currentSections()) {
+        ++sections_[static_cast<std::size_t>(id)].calls;
+      }
+      break;
+    }
+    case EventType::CallExit: {
+      in_call_ = false;
+      break;
+    }
+    case EventType::XferBegin: {
+      ActiveXfer x;
+      x.size = e.size;
+      x.comp_at_begin = comp_cum_;
+      x.noncomp_at_begin = noncomp_cum_;
+      x.call_at_begin = call_index_;
+      x.attributed = currentSections();
+      active_.emplace(e.id, std::move(x));
+      break;
+    }
+    case EventType::XferEnd: {
+      const auto it = active_.find(e.id);
+      if (it == active_.end()) {
+        // END with no observed BEGIN: the paper's case 3 (e.g. an eagerly
+        // received message whose send initiation was invisible).
+        ActiveXfer x;
+        x.size = e.size;
+        x.attributed = currentSections();
+        BoundsInput in;
+        in.begin_seen = false;
+        in.end_seen = true;
+        in.xfer_time = table_->lookup(e.size);
+        recordTransfer(x, in);
+        break;
+      }
+      const ActiveXfer& x = it->second;
+      BoundsInput in;
+      in.begin_seen = true;
+      in.end_seen = true;
+      in.same_call = in_call_ && x.call_at_begin == call_index_;
+      in.computation = comp_cum_ - x.comp_at_begin;
+      in.noncomputation = noncomp_cum_ - x.noncomp_at_begin;
+      in.xfer_time = table_->lookup(x.size);
+      recordTransfer(x, in);
+      active_.erase(it);
+      break;
+    }
+    case EventType::SectionBegin: {
+      section_stack_.push_back(static_cast<SectionId>(e.id));
+      break;
+    }
+    case EventType::SectionEnd: {
+      if (!section_stack_.empty()) section_stack_.pop_back();
+      break;
+    }
+    case EventType::Disable: {
+      disabled_ = true;
+      break;
+    }
+    case EventType::Enable: {
+      disabled_ = false;
+      break;
+    }
+  }
+}
+
+Report Processor::finalize(Rank rank, TimeNs end_time) {
+  if (started_ && end_time > last_time_) advanceTo(end_time);
+  // Transfers whose END was never observed are inconclusive (case 3).
+  for (const auto& [id, x] : active_) {
+    (void)id;
+    BoundsInput in;
+    in.begin_seen = true;
+    in.end_seen = false;
+    in.xfer_time = table_->lookup(x.size);
+    recordTransfer(x, in);
+  }
+  active_.clear();
+
+  Report r;
+  r.rank = rank;
+  r.classes = classes_;
+  r.monitored_time = started_ ? (last_time_ - first_time_) - disabled_total_ : 0;
+  r.case_same_call = case1_;
+  r.case_split_call = case2_;
+  r.case_inconclusive = case3_;
+  auto toReport = [](const SectionAccum& acc) {
+    SectionReport s;
+    s.name = acc.name;
+    s.total = acc.total;
+    s.by_class = acc.by_class;
+    s.computation_time = acc.computation_time;
+    s.communication_call_time = acc.communication_call_time;
+    s.calls = acc.calls;
+    return s;
+  };
+  r.whole = toReport(sections_.front());
+  for (std::size_t i = 1; i < sections_.size(); ++i) {
+    r.sections.push_back(toReport(sections_[i]));
+  }
+  return r;
+}
+
+}  // namespace ovp::overlap

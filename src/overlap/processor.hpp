@@ -1,0 +1,90 @@
+// Data-processing module (paper Sec. 2.4).
+//
+// Consumes timestamped events in order and updates overlap measures
+// on-the-fly: no trace is kept; the only retained state is (a) running
+// integrals of user-computation and in-library time, (b) one small record
+// per *currently active* transfer, and (c) the per-section/per-size-class
+// accumulators.  This is what lets the collection queue be a fixed-size
+// circular structure that is simply reset after each drain.
+//
+// Computation/non-computation attribution between a transfer's BEGIN and
+// END is O(1) per transfer: we snapshot the two integrals at BEGIN and take
+// deltas at END, rather than re-walking events.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "overlap/bounds.hpp"
+#include "overlap/events.hpp"
+#include "overlap/report.hpp"
+#include "overlap/size_classes.hpp"
+#include "overlap/xfer_table.hpp"
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+
+class Processor {
+ public:
+  Processor(const XferTimeTable& table, SizeClasses classes);
+
+  /// Interns a section label; repeat calls with the same name return the
+  /// same id.  Id 0 is the whole-run pseudo-section.
+  SectionId internSection(std::string_view name);
+
+  /// Feeds one event.  Events must arrive in non-decreasing time order.
+  void consume(const Event& e);
+
+  /// Closes still-active transfers as inconclusive (case 3) and returns the
+  /// final report.  The processor must not be fed further events after this.
+  [[nodiscard]] Report finalize(Rank rank, TimeNs end_time);
+
+  [[nodiscard]] std::size_t activeTransfers() const { return active_.size(); }
+
+ private:
+  struct ActiveXfer {
+    Bytes size = 0;
+    DurationNs comp_at_begin = 0;
+    DurationNs noncomp_at_begin = 0;
+    std::int64_t call_at_begin = -1;
+    std::vector<SectionId> attributed;  // sections active at BEGIN (incl. 0)
+  };
+  struct SectionAccum {
+    std::string name;
+    OverlapAccum total;
+    std::vector<OverlapAccum> by_class;
+    DurationNs computation_time = 0;
+    DurationNs communication_call_time = 0;
+    std::int64_t calls = 0;
+  };
+
+  /// Advances the integrals from the previous event time to t.
+  void advanceTo(TimeNs t);
+  void recordTransfer(const ActiveXfer& x, const BoundsInput& in);
+  [[nodiscard]] std::vector<SectionId> currentSections() const;
+
+  const XferTimeTable* table_;
+  SizeClasses classes_;
+
+  std::vector<SectionAccum> sections_;  // index == SectionId
+  std::unordered_map<std::string, SectionId> section_ids_;
+  std::vector<SectionId> section_stack_;  // active named sections
+
+  std::unordered_map<TransferId, ActiveXfer> active_;
+
+  bool started_ = false;
+  bool in_call_ = false;
+  bool disabled_ = false;
+  TimeNs last_time_ = 0;
+  TimeNs first_time_ = 0;
+  DurationNs comp_cum_ = 0;
+  DurationNs noncomp_cum_ = 0;
+  DurationNs disabled_total_ = 0;
+  std::int64_t call_index_ = 0;
+
+  std::int64_t case1_ = 0, case2_ = 0, case3_ = 0;
+};
+
+}  // namespace ovp::overlap

@@ -1,0 +1,244 @@
+#include "overlap/report.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ovp::overlap {
+
+const SectionReport* Report::findSection(std::string_view name) const {
+  for (const SectionReport& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void writeAccum(std::ostream& os, const char* label, const OverlapAccum& a) {
+  os << "  " << label << ": transfers=" << a.transfers << " bytes=" << a.bytes
+     << " data_transfer_time=" << util::humanDuration(a.data_transfer_time)
+     << " min_overlapped=" << util::humanDuration(a.min_overlapped)
+     << " max_overlapped=" << util::humanDuration(a.max_overlapped)
+     << " min%=" << util::TextTable::num(a.minPct(), 1)
+     << " max%=" << util::TextTable::num(a.maxPct(), 1) << '\n';
+}
+
+void writeSection(std::ostream& os, const SectionReport& s,
+                  const SizeClasses& classes) {
+  os << "section \"" << s.name << "\"\n";
+  os << "  user_computation_time="
+     << util::humanDuration(s.computation_time)
+     << " communication_call_time="
+     << util::humanDuration(s.communication_call_time)
+     << " calls=" << s.calls << '\n';
+  writeAccum(os, "all-sizes", s.total);
+  for (std::size_t c = 0; c < s.by_class.size(); ++c) {
+    if (s.by_class[c].transfers == 0) continue;
+    writeAccum(os, classes.label(static_cast<int>(c)).c_str(), s.by_class[c]);
+  }
+}
+
+}  // namespace
+
+void Report::write(std::ostream& os) const {
+  os << "# ovprof overlap report, rank " << rank << '\n';
+  os << "monitored_time=" << util::humanDuration(monitored_time)
+     << " events=" << events_logged << " drains=" << queue_drains << '\n';
+  os << "bound_cases: same_call=" << case_same_call
+     << " split_call=" << case_split_call
+     << " inconclusive=" << case_inconclusive << '\n';
+  writeSection(os, whole, classes);
+  for (const SectionReport& s : sections) writeSection(os, s, classes);
+}
+
+namespace {
+
+void saveAccum(std::ostream& os, const OverlapAccum& a) {
+  os << a.transfers << ' ' << a.bytes << ' ' << a.data_transfer_time << ' '
+     << a.min_overlapped << ' ' << a.max_overlapped;
+}
+
+bool loadAccum(std::istream& is, OverlapAccum& a) {
+  return static_cast<bool>(is >> a.transfers >> a.bytes >>
+                           a.data_transfer_time >> a.min_overlapped >>
+                           a.max_overlapped);
+}
+
+void saveSection(std::ostream& os, const SectionReport& s) {
+  // Names are whitespace-free by construction; an empty name gets a
+  // placeholder so the token stream stays parseable.
+  os << "section.begin " << (s.name.empty() ? "<unnamed>" : s.name) << '\n';
+  os << "times " << s.calls << ' ' << s.computation_time << ' '
+     << s.communication_call_time << '\n';
+  os << "total ";
+  saveAccum(os, s.total);
+  os << '\n';
+  for (std::size_t c = 0; c < s.by_class.size(); ++c) {
+    os << "class " << c << ' ';
+    saveAccum(os, s.by_class[c]);
+    os << '\n';
+  }
+  os << "section.end\n";
+}
+
+bool loadSection(std::istream& is, SectionReport& s, int nclasses) {
+  std::string key;
+  if (!(is >> key) || key != "times") return false;
+  if (!(is >> s.calls >> s.computation_time >> s.communication_call_time)) {
+    return false;
+  }
+  if (!(is >> key) || key != "total" || !loadAccum(is, s.total)) return false;
+  s.by_class.assign(static_cast<std::size_t>(nclasses), OverlapAccum{});
+  for (int c = 0; c < nclasses; ++c) {
+    std::size_t idx = 0;
+    if (!(is >> key) || key != "class" || !(is >> idx) ||
+        idx != static_cast<std::size_t>(c) ||
+        !loadAccum(is, s.by_class[idx])) {
+      return false;
+    }
+  }
+  if (!(is >> key) || key != "section.end") return false;
+  return true;
+}
+
+}  // namespace
+
+void Report::save(std::ostream& os) const {
+  os << "ovprof-report-v1\n";
+  os << "rank " << rank << '\n';
+  os << "monitored_time " << monitored_time << '\n';
+  os << "events " << events_logged << ' ' << queue_drains << '\n';
+  os << "cases " << case_same_call << ' ' << case_split_call << ' '
+     << case_inconclusive << '\n';
+  os << "classes";
+  for (const Bytes b : classes.bounds()) os << ' ' << b;
+  os << '\n';
+  os << "sections " << sections.size() << '\n';
+  saveSection(os, whole);
+  for (const SectionReport& s : sections) saveSection(os, s);
+}
+
+bool Report::load(std::istream& is) {
+  *this = Report{};
+  std::string line, key;
+  if (!std::getline(is, line) || util::trim(line) != "ovprof-report-v1") {
+    return false;
+  }
+  if (!(is >> key >> rank) || key != "rank") return false;
+  if (!(is >> key >> monitored_time) || key != "monitored_time") return false;
+  if (!(is >> key >> events_logged >> queue_drains) || key != "events") {
+    return false;
+  }
+  if (!(is >> key >> case_same_call >> case_split_call >>
+        case_inconclusive) ||
+      key != "cases") {
+    return false;
+  }
+  if (!(is >> key) || key != "classes") return false;
+  std::getline(is, line);
+  {
+    std::vector<Bytes> bounds;
+    std::istringstream fields(line);
+    Bytes b = 0;
+    while (fields >> b) bounds.push_back(b);
+    classes = SizeClasses::fromBounds(std::move(bounds));
+  }
+  std::size_t nsections = 0;
+  if (!(is >> key >> nsections) || key != "sections") return false;
+  auto loadOne = [&](SectionReport& s) {
+    std::string word;
+    if (!(is >> word) || word != "section.begin") return false;
+    if (!(is >> s.name)) return false;
+    if (s.name == "<unnamed>") s.name.clear();
+    return loadSection(is, s, classes.count());
+  };
+  if (!loadOne(whole)) return false;
+  sections.resize(nsections);
+  for (SectionReport& s : sections) {
+    if (!loadOne(s)) {
+      *this = Report{};
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Report::saveFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+bool Report::loadFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return load(is);
+}
+
+namespace {
+
+void mergeAccum(OverlapAccum& into, const OverlapAccum& from) {
+  into.transfers += from.transfers;
+  into.bytes += from.bytes;
+  into.data_transfer_time += from.data_transfer_time;
+  into.min_overlapped += from.min_overlapped;
+  into.max_overlapped += from.max_overlapped;
+}
+
+void mergeSection(SectionReport& into, const SectionReport& from) {
+  into.calls += from.calls;
+  into.computation_time += from.computation_time;
+  into.communication_call_time += from.communication_call_time;
+  mergeAccum(into.total, from.total);
+  if (into.by_class.size() < from.by_class.size()) {
+    into.by_class.resize(from.by_class.size());
+  }
+  for (std::size_t c = 0; c < from.by_class.size(); ++c) {
+    mergeAccum(into.by_class[c], from.by_class[c]);
+  }
+}
+
+}  // namespace
+
+Report mergeReports(const std::vector<Report>& reports) {
+  Report merged;
+  merged.rank = -1;
+  if (reports.empty()) return merged;
+  merged.classes = reports.front().classes;
+  merged.whole.name = reports.front().whole.name;
+  for (const Report& r : reports) {
+    merged.monitored_time += r.monitored_time;
+    merged.events_logged += r.events_logged;
+    merged.queue_drains += r.queue_drains;
+    merged.case_same_call += r.case_same_call;
+    merged.case_split_call += r.case_split_call;
+    merged.case_inconclusive += r.case_inconclusive;
+    mergeSection(merged.whole, r.whole);
+    for (const SectionReport& s : r.sections) {
+      SectionReport* target = nullptr;
+      for (SectionReport& m : merged.sections) {
+        if (m.name == s.name) {
+          target = &m;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        SectionReport fresh;
+        fresh.name = s.name;
+        fresh.by_class.resize(s.by_class.size());
+        merged.sections.push_back(std::move(fresh));
+        target = &merged.sections.back();
+      }
+      mergeSection(*target, s);
+    }
+  }
+  return merged;
+}
+
+}  // namespace ovp::overlap

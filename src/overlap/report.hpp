@@ -1,0 +1,99 @@
+// Derived per-process measures (paper Sec. 2.2/2.3) and the per-process
+// output report written at finalize.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "overlap/bounds.hpp"
+#include "overlap/size_classes.hpp"
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+
+/// Aggregated overlap measures for a set of data-transfer operations.
+struct OverlapAccum {
+  std::int64_t transfers = 0;
+  Bytes bytes = 0;
+  /// Sum of a-priori xfer_time over the ops: the paper's "data transfer
+  /// time" — net physical-transfer time of all user messages.
+  DurationNs data_transfer_time = 0;
+  /// Lower / upper bound on how much of data_transfer_time was overlapped.
+  DurationNs min_overlapped = 0;
+  DurationNs max_overlapped = 0;
+
+  void addTransfer(Bytes size, DurationNs xfer_time, const Bounds& b) {
+    ++transfers;
+    bytes += size;
+    data_transfer_time += xfer_time;
+    min_overlapped += b.min_overlap;
+    max_overlapped += b.max_overlap;
+  }
+
+  /// Bounds as percentages of data transfer time (0 when no transfers).
+  [[nodiscard]] double minPct() const {
+    return data_transfer_time > 0 ? 100.0 * static_cast<double>(min_overlapped) /
+                                        static_cast<double>(data_transfer_time)
+                                  : 0.0;
+  }
+  [[nodiscard]] double maxPct() const {
+    return data_transfer_time > 0 ? 100.0 * static_cast<double>(max_overlapped) /
+                                        static_cast<double>(data_transfer_time)
+                                  : 0.0;
+  }
+  /// "The difference between data transfer time and maximum overlapped
+  /// transfer time gives the minimum duration of communication that was not
+  /// usefully overlapped" (Sec. 2.3) — the paper's key overhead indicator.
+  [[nodiscard]] DurationNs minNonOverlapped() const {
+    return data_transfer_time - max_overlapped;
+  }
+};
+
+/// Measures for one monitored code region ("<all>" covers the whole run).
+struct SectionReport {
+  std::string name;
+  OverlapAccum total;
+  std::vector<OverlapAccum> by_class;  // indexed by SizeClasses::classOf
+  DurationNs computation_time = 0;         // user computation in region
+  DurationNs communication_call_time = 0;  // time inside library calls
+  std::int64_t calls = 0;                  // communication calls entered
+};
+
+/// Per-process output of the framework, produced at finalize.
+struct Report {
+  Rank rank = 0;
+  SizeClasses classes;
+  SectionReport whole;                  // whole-run totals
+  std::vector<SectionReport> sections;  // application-named regions
+  /// Monitored wall (virtual) time: first..last event minus disabled gaps.
+  DurationNs monitored_time = 0;
+  std::int64_t events_logged = 0;
+  std::int64_t queue_drains = 0;
+  /// Diagnostic: how often each bound case fired.
+  std::int64_t case_same_call = 0;      // case 1
+  std::int64_t case_split_call = 0;     // case 2
+  std::int64_t case_inconclusive = 0;   // case 3
+
+  /// Finds a named section; nullptr if absent.
+  [[nodiscard]] const SectionReport* findSection(std::string_view name) const;
+
+  /// Writes the human-readable per-process report file (paper Fig. 2's
+  /// "output file with overlap numbers").
+  void write(std::ostream& os) const;
+
+  /// Exact (lossless) serialization for post-processing tools.
+  void save(std::ostream& os) const;
+  /// Parses what save() produced; returns false on any malformed input
+  /// (the report is left default-constructed in that case).
+  [[nodiscard]] bool load(std::istream& is);
+
+  [[nodiscard]] bool saveFile(const std::string& path) const;
+  [[nodiscard]] bool loadFile(const std::string& path);
+};
+
+/// Merges per-process reports into a job-wide view: accumulators and times
+/// are summed; sections are matched by name (rank is set to -1).
+[[nodiscard]] Report mergeReports(const std::vector<Report>& reports);
+
+}  // namespace ovp::overlap

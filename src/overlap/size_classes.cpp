@@ -1,0 +1,47 @@
+#include "overlap/size_classes.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace ovp::overlap {
+
+SizeClasses SizeClasses::shortLong(Bytes threshold) {
+  SizeClasses c;
+  c.upper_bounds_ = {threshold};
+  return c;
+}
+
+SizeClasses SizeClasses::powersOfTwo(Bytes min_size, Bytes max_size) {
+  SizeClasses c;
+  for (Bytes b = min_size; b <= max_size; b *= 2) {
+    c.upper_bounds_.push_back(b);
+  }
+  return c;
+}
+
+SizeClasses SizeClasses::single() { return SizeClasses{}; }
+
+SizeClasses SizeClasses::fromBounds(std::vector<Bytes> bounds) {
+  SizeClasses c;
+  std::sort(bounds.begin(), bounds.end());
+  c.upper_bounds_ = std::move(bounds);
+  return c;
+}
+
+int SizeClasses::classOf(Bytes size) const {
+  const auto it =
+      std::upper_bound(upper_bounds_.begin(), upper_bounds_.end(), size);
+  return static_cast<int>(it - upper_bounds_.begin());
+}
+
+std::string SizeClasses::label(int i) const {
+  if (upper_bounds_.empty()) return "all";
+  if (i == 0) return "<" + util::humanBytes(upper_bounds_.front());
+  if (i == count() - 1) return ">=" + util::humanBytes(upper_bounds_.back());
+  return "[" + util::humanBytes(upper_bounds_[static_cast<std::size_t>(i) - 1]) +
+         "," + util::humanBytes(upper_bounds_[static_cast<std::size_t>(i)]) +
+         ")";
+}
+
+}  // namespace ovp::overlap

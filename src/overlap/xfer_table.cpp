@@ -1,0 +1,106 @@
+#include "overlap/xfer_table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ovp::overlap {
+
+void XferTimeTable::add(Bytes size, DurationNs time) {
+  // Replace an existing point for the same size.
+  for (auto& p : points_) {
+    if (p.size == size) {
+      p.time = time;
+      return;
+    }
+  }
+  points_.push_back({size, time});
+  sort();
+}
+
+void XferTimeTable::sort() {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) { return a.size < b.size; });
+}
+
+DurationNs XferTimeTable::lookup(Bytes size) const {
+  if (points_.empty() || size <= 0) return 0;
+  if (points_.size() == 1) {
+    // Single point: scale by bandwidth through that point.
+    const double scale =
+        static_cast<double>(size) / static_cast<double>(points_[0].size);
+    return static_cast<DurationNs>(static_cast<double>(points_[0].time) *
+                                   scale);
+  }
+  if (size <= points_.front().size) {
+    // Below range: interpolate along the first segment's line (captures the
+    // latency floor better than proportional scaling).
+    const Point& a = points_[0];
+    const Point& b = points_[1];
+    const double t = static_cast<double>(size - a.size) /
+                     static_cast<double>(b.size - a.size);
+    const double v = static_cast<double>(a.time) +
+                     t * static_cast<double>(b.time - a.time);
+    return v < 0 ? 0 : static_cast<DurationNs>(v);
+  }
+  if (size >= points_.back().size) {
+    // Above range: extrapolate with the bandwidth of the last segment.
+    const Point& a = points_[points_.size() - 2];
+    const Point& b = points_.back();
+    const double slope = static_cast<double>(b.time - a.time) /
+                         static_cast<double>(b.size - a.size);
+    return b.time + static_cast<DurationNs>(
+                        slope * static_cast<double>(size - b.size));
+  }
+  const auto hi = std::lower_bound(
+      points_.begin(), points_.end(), size,
+      [](const Point& p, Bytes s) { return p.size < s; });
+  const auto lo = hi - 1;
+  if (hi->size == size) return hi->time;
+  const double t = static_cast<double>(size - lo->size) /
+                   static_cast<double>(hi->size - lo->size);
+  return lo->time +
+         static_cast<DurationNs>(t * static_cast<double>(hi->time - lo->time));
+}
+
+void XferTimeTable::save(std::ostream& os) const {
+  os << "# ovprof transfer-time table: <size_bytes> <time_ns>\n";
+  for (const Point& p : points_) {
+    os << p.size << ' ' << p.time << '\n';
+  }
+}
+
+bool XferTimeTable::load(std::istream& is) {
+  std::vector<Point> parsed;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string_view body = util::trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    std::istringstream fields{std::string(body)};
+    long long size = 0, time = 0;
+    if (!(fields >> size >> time) || size <= 0 || time < 0) return false;
+    std::string extra;
+    if (fields >> extra) return false;
+    parsed.push_back({size, time});
+  }
+  points_ = std::move(parsed);
+  sort();
+  return true;
+}
+
+bool XferTimeTable::saveFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+bool XferTimeTable::loadFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return false;
+  return load(is);
+}
+
+}  // namespace ovp::overlap

@@ -1,0 +1,55 @@
+// A-priori transfer-time table (paper Sec. 2.2 / 3.1).
+//
+// The bound computation needs xfer_time(size): the physical network time of
+// a data transfer of a given size, measured beforehand by a standard
+// microbenchmark (the paper used Mellanox's perf_main; this repo's analog is
+// bench/calibrate_xfer_table).  The table is read from disk into memory at
+// library initialization — the paper notes this one-time cost is paid inside
+// MPI_Init — and queried with interpolation at run time.
+//
+// File format: '#' comments; otherwise two whitespace-separated integers per
+// line, "<size_bytes> <time_ns>", sizes strictly increasing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+
+class XferTimeTable {
+ public:
+  XferTimeTable() = default;
+
+  /// Adds a calibration point; sizes may be added in any order.
+  void add(Bytes size, DurationNs time);
+
+  /// xfer_time for an arbitrary size: piecewise-linear interpolation between
+  /// calibration points; proportional extrapolation below the first point
+  /// (through the origin offset) and bandwidth extrapolation above the last.
+  /// Returns 0 for an empty table or non-positive size.
+  [[nodiscard]] DurationNs lookup(Bytes size) const;
+
+  [[nodiscard]] std::size_t points() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  void save(std::ostream& os) const;
+  /// Returns false on any malformed line (table left in valid state with
+  /// whatever parsed before the error discarded).
+  [[nodiscard]] bool load(std::istream& is);
+
+  [[nodiscard]] bool saveFile(const std::string& path) const;
+  [[nodiscard]] bool loadFile(const std::string& path);
+
+ private:
+  struct Point {
+    Bytes size;
+    DurationNs time;
+  };
+  void sort();
+  std::vector<Point> points_;  // kept sorted by size
+};
+
+}  // namespace ovp::overlap

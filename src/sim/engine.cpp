@@ -1,0 +1,227 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace ovp::sim {
+
+namespace {
+/// Thrown into rank threads to unwind them when the job is being aborted
+/// (deadlock detected or a peer rank failed).  Never escapes Engine::run.
+struct EngineAborted {};
+}  // namespace
+
+int Context::worldSize() const {
+  return static_cast<int>(engine_.ranks_.size());
+}
+
+TimeNs Context::now() const { return engine_.now(); }
+
+void Context::compute(DurationNs d) { engine_.rankCompute(rank_, d); }
+
+void Context::sleep() { engine_.rankSleep(rank_); }
+
+void Engine::run(int nranks, const std::function<void(Context&)>& rankMain) {
+  assert(nranks > 0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ranks_.clear();
+    while (!events_.empty()) events_.pop();
+    now_ = 0;
+    finish_time_ = 0;
+    seq_ = 0;
+    events_processed_ = 0;
+    alive_ = nranks;
+    engine_turn_ = true;
+    error_ = nullptr;
+    aborting_ = false;
+
+    ranks_.reserve(static_cast<std::size_t>(nranks));
+    for (Rank r = 0; r < nranks; ++r) {
+      ranks_.push_back(std::make_unique<RankSlot>());
+    }
+    for (Rank r = 0; r < nranks; ++r) {
+      ranks_[static_cast<std::size_t>(r)]->wake_pending = true;
+      pushEventLocked(0, r, nullptr);
+    }
+    for (Rank r = 0; r < nranks; ++r) {
+      RankSlot& slot = *ranks_[static_cast<std::size_t>(r)];
+      slot.thread = std::thread([this, r, &rankMain] {
+        Context ctx(*this, r);
+        std::exception_ptr failure;
+        {
+          // Wait for the engine to hand us the first turn.
+          std::unique_lock<std::mutex> tlock(mu_);
+          ranks_[static_cast<std::size_t>(r)]->cv.wait(
+              tlock, [&] { return ranks_[static_cast<std::size_t>(r)]->resume; });
+          ranks_[static_cast<std::size_t>(r)]->resume = false;
+          if (aborting_) {
+            finishRankLocked(r, nullptr);
+            return;
+          }
+        }
+        try {
+          rankMain(ctx);
+        } catch (const EngineAborted&) {
+          // Unwound deliberately; not an error.
+        } catch (...) {
+          failure = std::current_exception();
+        }
+        std::unique_lock<std::mutex> tlock(mu_);
+        finishRankLocked(r, failure);
+      });
+    }
+  }
+
+  mainLoop(nranks);
+
+  for (auto& slot : ranks_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+void Engine::finishRankLocked(Rank rank, std::exception_ptr failure) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  slot.state = RankState::Done;
+  --alive_;
+  if (failure && !error_) error_ = failure;
+  finish_time_ = now_;
+  engine_turn_ = true;
+  engine_cv_.notify_one();
+}
+
+void Engine::mainLoop(int nranks) {
+  (void)nranks;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (alive_ > 0 || !events_.empty()) {
+    if (error_ && !aborting_) abortLocked(lock, "a rank failed");
+    if (events_.empty()) {
+      if (alive_ == 0) break;
+      // Deadlock: live ranks but nothing scheduled.
+      std::ostringstream msg;
+      msg << "simulation deadlock at t=" << now_ << "ns; sleeping ranks:";
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        if (ranks_[r]->state != RankState::Done) msg << ' ' << r;
+      }
+      if (!error_) {
+        error_ = std::make_exception_ptr(std::runtime_error(msg.str()));
+      }
+      abortLocked(lock, "deadlock");
+      continue;
+    }
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_processed_;
+    if (ev.wake_rank >= 0) {
+      RankSlot& slot = *ranks_[static_cast<std::size_t>(ev.wake_rank)];
+      if (slot.state == RankState::Done) continue;
+      if (ev.timed_resume) {
+        assert(slot.state == RankState::Busy);
+        runRank(lock, ev.wake_rank);
+      } else if (slot.state == RankState::Sleeping) {
+        slot.wake_pending = false;
+        runRank(lock, ev.wake_rank);
+      }
+      // Wake event arriving while the rank is busy: leave the pending token
+      // for the rank's next sleep().
+    } else {
+      // Timed handler: runs on this (engine) thread with the lock released;
+      // every rank is blocked, so handlers have exclusive access to
+      // simulation state.
+      lock.unlock();
+      ev.handler();
+      lock.lock();
+    }
+  }
+  finish_time_ = now_;
+}
+
+void Engine::abortLocked(std::unique_lock<std::mutex>& lock,
+                         const char* /*why*/) {
+  aborting_ = true;
+  // Resume every live rank so it unwinds via EngineAborted; drain their
+  // final handoffs one at a time.
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    RankSlot& slot = *ranks_[r];
+    if (slot.state == RankState::Done) continue;
+    runRank(lock, static_cast<Rank>(r));
+  }
+  // Discard whatever is left in the queue.
+  while (!events_.empty()) events_.pop();
+}
+
+void Engine::runRank(std::unique_lock<std::mutex>& lock, Rank rank) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  slot.state = RankState::Running;
+  slot.resume = true;
+  engine_turn_ = false;
+  slot.cv.notify_one();
+  engine_cv_.wait(lock, [&] { return engine_turn_; });
+}
+
+void Engine::pushEventLocked(TimeNs t, Rank wakeRank,
+                             std::function<void()> handler) {
+  Event ev;
+  ev.time = t < now_ ? now_ : t;
+  ev.seq = seq_++;
+  ev.wake_rank = wakeRank;
+  ev.handler = std::move(handler);
+  events_.push(std::move(ev));
+}
+
+void Engine::schedule(TimeNs t, std::function<void()> handler) {
+  std::unique_lock<std::mutex> lock(mu_);
+  pushEventLocked(t, -1, std::move(handler));
+}
+
+void Engine::wake(Rank rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  if (slot.state == RankState::Done) return;
+  if (slot.state == RankState::Sleeping && !slot.wake_pending) {
+    slot.wake_pending = true;
+    pushEventLocked(now_, rank, nullptr);
+  } else {
+    slot.wake_pending = true;
+  }
+}
+
+void Engine::rankCompute(Rank rank, DurationNs d) {
+  assert(d >= 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  Event ev;
+  ev.time = now_ + d;
+  ev.seq = seq_++;
+  ev.wake_rank = rank;
+  ev.timed_resume = true;
+  events_.push(std::move(ev));
+  slot.state = RankState::Busy;
+  yieldToEngine(lock, rank);
+}
+
+void Engine::rankSleep(Rank rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  if (slot.wake_pending) {
+    slot.wake_pending = false;
+    return;
+  }
+  slot.state = RankState::Sleeping;
+  yieldToEngine(lock, rank);
+}
+
+void Engine::yieldToEngine(std::unique_lock<std::mutex>& lock, Rank rank) {
+  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
+  engine_turn_ = true;
+  engine_cv_.notify_one();
+  slot.cv.wait(lock, [&] { return slot.resume; });
+  slot.resume = false;
+  if (aborting_) throw EngineAborted{};
+}
+
+}  // namespace ovp::sim

@@ -1,0 +1,162 @@
+// Deterministic discrete-event simulation engine.
+//
+// The engine models a cluster job: N simulated processes (ranks), each
+// executed by a dedicated OS thread running ordinary *blocking* C++ code,
+// plus an event queue of timed handlers (used by the NIC/fabric model).
+//
+// Execution is strictly sequential: at any instant exactly one thread — the
+// engine thread or a single rank thread — is runnable; control is handed
+// over explicitly under a mutex.  Events are ordered by (virtual time,
+// insertion sequence), so simulations are bit-reproducible regardless of
+// host scheduling.  This is a classic conservative sequential DES; the
+// thread-per-rank shape exists purely so that application code (NAS
+// kernels, microbenchmarks) can call blocking communication routines the
+// way real MPI programs do.
+//
+// Rank code interacts with the engine through sim::Context:
+//   * compute(d)/advance(d): advance virtual time by d (the rank is busy).
+//   * sleep(): block until some event handler calls wake(rank).
+//   * schedule()/after(): enqueue timed handlers (run on the engine thread).
+//
+// A wake() targeting a rank that is currently busy (inside compute()) is
+// remembered as a pending token and consumed by the rank's next sleep(), so
+// the usual `while (!cond) sleep();` loop never loses a wakeup.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ovp::sim {
+
+class Engine;
+
+/// Per-rank handle passed to rank main functions.  Valid only for the
+/// duration of Engine::run.
+class Context {
+ public:
+  [[nodiscard]] Rank rank() const { return rank_; }
+  [[nodiscard]] int worldSize() const;
+  [[nodiscard]] TimeNs now() const;
+
+  /// Advances this rank's virtual clock by d (busy time).  Application code
+  /// uses this to model user computation; library code uses it to model
+  /// per-call overheads.  d must be >= 0.
+  void compute(DurationNs d);
+
+  /// Semantic alias of compute() for in-library costs.
+  void advance(DurationNs d) { compute(d); }
+
+  /// Blocks until a handler calls Engine::wake(rank()).  Returns
+  /// immediately (consuming the token) if a wake is already pending.
+  void sleep();
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+ private:
+  friend class Engine;
+  Context(Engine& engine, Rank rank) : engine_(engine), rank_(rank) {}
+  Engine& engine_;
+  Rank rank_;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `rankMain` once per rank on `nranks` simulated processes, starting
+  /// them all at virtual time 0, and returns when every rank has finished
+  /// and no runnable work remains.  Rethrows the first exception raised by
+  /// any rank or handler.  May be called repeatedly (each call is an
+  /// independent job; virtual time restarts at 0).
+  void run(int nranks, const std::function<void(Context&)>& rankMain);
+
+  /// Current virtual time.  Callable from rank code and handlers.
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Enqueues `handler` to run on the engine thread at absolute time t
+  /// (clamped to now()).  Callable from rank code and handlers.
+  void schedule(TimeNs t, std::function<void()> handler);
+
+  /// Enqueues `handler` to run after duration d from now.
+  void after(DurationNs d, std::function<void()> handler) {
+    schedule(now_ + d, std::move(handler));
+  }
+
+  /// Requests that `rank` be resumed if it is (or next goes) to sleep.
+  /// Idempotent while a previous wake is still pending.
+  void wake(Rank rank);
+
+  /// Virtual time at which the last run() finished (max over final events).
+  [[nodiscard]] TimeNs finishTime() const { return finish_time_; }
+
+  /// Total events processed by the last run (diagnostic).
+  [[nodiscard]] std::int64_t eventsProcessed() const { return events_processed_; }
+
+ private:
+  enum class RankState : std::uint8_t { Running, Busy, Sleeping, Done };
+
+  struct RankSlot {
+    std::thread thread;
+    RankState state = RankState::Sleeping;
+    bool wake_pending = false;
+    bool resume = false;  // handoff token: rank may run
+    std::condition_variable cv;
+  };
+
+  struct Event {
+    TimeNs time = 0;
+    std::int64_t seq = 0;
+    Rank wake_rank = -1;                // >= 0: resume this rank
+    bool timed_resume = false;          // true: end of a compute() interval
+    std::function<void()> handler;      // wake_rank < 0: run this
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // --- rank-thread side (called via Context) ---
+  friend class Context;
+  void rankCompute(Rank rank, DurationNs d);
+  void rankSleep(Rank rank);
+  /// Blocks the calling rank thread until its resume token is set; the
+  /// engine thread is released first.  Must hold `lock`.
+  void yieldToEngine(std::unique_lock<std::mutex>& lock, Rank rank);
+
+  // --- engine-thread side ---
+  void mainLoop(int nranks);
+  void runRank(std::unique_lock<std::mutex>& lock, Rank rank);
+  void finishRankLocked(Rank rank, std::exception_ptr failure);
+  void abortLocked(std::unique_lock<std::mutex>& lock, const char* why);
+
+  void pushEventLocked(TimeNs t, Rank wakeRank, std::function<void()> handler);
+
+  mutable std::mutex mu_;
+  std::condition_variable engine_cv_;
+  std::vector<std::unique_ptr<RankSlot>> ranks_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  TimeNs now_ = 0;
+  TimeNs finish_time_ = 0;
+  std::int64_t seq_ = 0;
+  std::int64_t events_processed_ = 0;
+  int alive_ = 0;
+  bool engine_turn_ = true;
+  bool aborting_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace ovp::sim

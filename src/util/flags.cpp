@@ -1,0 +1,57 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace ovp::util {
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!startsWith(arg, "--")) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
+      return false;
+    }
+    arg.remove_prefix(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+  return true;
+}
+
+std::int64_t Flags::getInt(std::string_view name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t v = 0;
+  return parseInt(it->second, v) ? v : fallback;
+}
+
+double Flags::getDouble(std::string_view name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  double v = 0.0;
+  return parseDouble(it->second, v) ? v : fallback;
+}
+
+std::string Flags::getString(std::string_view name,
+                             std::string_view fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+bool Flags::getBool(std::string_view name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+}  // namespace ovp::util

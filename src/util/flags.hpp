@@ -1,0 +1,31 @@
+// Minimal --key=value command-line flag parser for bench and example
+// binaries.  Every binary must run with no arguments (paper defaults); flags
+// exist so experiments can be re-run with different parameters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ovp::util {
+
+class Flags {
+ public:
+  /// Parses argv of the form --name=value or --name (boolean true).
+  /// Unrecognized positional arguments are an error (returns false).
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t getInt(std::string_view name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double getDouble(std::string_view name, double fallback) const;
+  [[nodiscard]] std::string getString(std::string_view name,
+                                      std::string_view fallback) const;
+  [[nodiscard]] bool getBool(std::string_view name, bool fallback) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace ovp::util

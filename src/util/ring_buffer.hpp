@@ -1,0 +1,75 @@
+// Fixed-capacity circular queue.
+//
+// This is the data structure behind the instrumentation framework's event
+// queue (paper Sec. 2.4): a statically sized, in-memory structure that is
+// drained by the data-processing module whenever it fills.  It is also used
+// by NIC work queues.  Capacity is fixed at construction; no allocation
+// happens after that.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ovp::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : storage_(capacity) {
+    assert(capacity > 0 && "RingBuffer capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == storage_.size(); }
+
+  /// Appends an element.  Precondition: !full().
+  void push(T value) {
+    assert(!full());
+    storage_[tail_] = std::move(value);
+    tail_ = next(tail_);
+    ++size_;
+  }
+
+  /// Removes and returns the oldest element.  Precondition: !empty().
+  T pop() {
+    assert(!empty());
+    T value = std::move(storage_[head_]);
+    head_ = next(head_);
+    --size_;
+    return value;
+  }
+
+  /// Oldest element.  Precondition: !empty().
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return storage_[head_];
+  }
+
+  /// i-th oldest element, 0 == front().  Precondition: i < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    return storage_[(head_ + i) % storage_.size()];
+  }
+
+  /// Drops all elements ("reset the head pointer" in the paper's terms).
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const {
+    return (i + 1) % storage_.size();
+  }
+
+  std::vector<T> storage_;
+  std::size_t head_ = 0;  // oldest
+  std::size_t tail_ = 0;  // one past newest
+  std::size_t size_ = 0;
+};
+
+}  // namespace ovp::util

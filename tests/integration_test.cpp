@@ -1,0 +1,227 @@
+// Cross-module integration tests: the calibrated transfer-time table fed
+// back into the framework (the paper's full startup workflow), fabric
+// timing properties under load, and end-to-end engine edge cases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "net/nic.hpp"
+#include "util/rng.hpp"
+
+namespace ovp {
+namespace {
+
+/// Measures one-way times like bench/calibrate_xfer_table does.
+overlap::XferTimeTable calibrate() {
+  overlap::XferTimeTable table;
+  for (Bytes size = 64; size <= 1 << 20; size *= 4) {
+    mpi::JobConfig job;
+    job.nranks = 2;
+    job.mpi.instrument = false;
+    job.mpi.preset = mpi::Preset::OpenMpiLeavePinned;
+    mpi::Machine machine(job);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+    TimeNs elapsed = 0;
+    machine.run([&](mpi::Mpi& mpi) {
+      mpi.barrier();
+      const TimeNs t0 = mpi.now();
+      for (int i = 0; i < 10; ++i) {
+        if (mpi.rank() == 0) {
+          mpi.send(buf.data(), size, 1, 0);
+          mpi.recv(buf.data(), size, 1, 0);
+        } else {
+          mpi.recv(buf.data(), size, 0, 0);
+          mpi.send(buf.data(), size, 0, 0);
+        }
+      }
+      if (mpi.rank() == 0) elapsed = mpi.now() - t0;
+    });
+    table.add(size, elapsed / 20);
+  }
+  return table;
+}
+
+TEST(Calibration, MeasuredTableTracksAnalyticModel) {
+  const overlap::XferTimeTable measured = calibrate();
+  const net::FabricParams params;
+  const overlap::XferTimeTable analytic = mpi::analyticTable(params);
+  for (Bytes size : {Bytes{4096}, Bytes{65536}, Bytes{1 << 20}}) {
+    const double m = static_cast<double>(measured.lookup(size));
+    const double a = static_cast<double>(analytic.lookup(size));
+    // The ping-pong includes protocol handshakes and per-call overheads,
+    // so it reads somewhat above the bare-wire model — but must track it.
+    EXPECT_GT(m, 0.9 * a) << "size " << size;
+    EXPECT_LT(m, 1.8 * a) << "size " << size;
+  }
+}
+
+TEST(Calibration, CalibratedTableGivesSaneBounds) {
+  // Full paper workflow: measure a priori, load the table, run
+  // instrumented, check the bounds stay within [0, 100]% and close to the
+  // analytic-table run.
+  const overlap::XferTimeTable measured = calibrate();
+  auto runWith = [&](const overlap::XferTimeTable& table) {
+    mpi::JobConfig job;
+    job.nranks = 2;
+    job.mpi.preset = mpi::Preset::OpenMpiLeavePinned;
+    job.mpi.monitor.table = table;
+    mpi::Machine machine(job);
+    std::vector<std::uint8_t> buf(1 << 20);
+    machine.run([&](mpi::Mpi& mpi) {
+      for (int i = 0; i < 10; ++i) {
+        if (mpi.rank() == 0) {
+          mpi::Request r = mpi.isend(buf.data(), 1 << 20, 1, 0);
+          mpi.compute(msec(2));
+          mpi.wait(r);
+        } else {
+          mpi.recv(buf.data(), 1 << 20, 0, 0);
+        }
+        mpi.barrier();
+      }
+    });
+    return machine.reports()[0].whole.total;
+  };
+  const auto with_measured = runWith(measured);
+  const auto with_analytic = runWith(overlap::XferTimeTable{});
+  EXPECT_GE(with_measured.minPct(), 0.0);
+  EXPECT_LE(with_measured.maxPct(), 100.0 + 1e-9);
+  EXPECT_GT(with_measured.maxPct(), 80.0);
+  EXPECT_NEAR(with_measured.maxPct(), with_analytic.maxPct(), 15.0);
+}
+
+TEST(FabricProperty, ArrivalsArePerPairMonotonic) {
+  // Random packet storms: per (src,dst) pair, arrivals must preserve post
+  // order (non-overtaking is what MPI matching correctness rests on).
+  sim::Engine eng;
+  net::FabricParams params;
+  net::Fabric fabric(eng, params, 3);
+  std::vector<int> recv_order[3];
+  eng.run(3, [&](sim::Context& ctx) {
+    util::Rng rng(static_cast<std::uint64_t>(ctx.rank()) + 1);
+    if (ctx.rank() < 2) {
+      for (int i = 0; i < 40; ++i) {
+        net::Packet pkt;
+        pkt.src = ctx.rank();
+        pkt.channel = i;  // per-sender sequence number
+        pkt.payload.resize(rng.below(3000));
+        fabric.nic(ctx.rank()).postSend(2, std::move(pkt));
+        if (rng.below(2) == 0) {
+          ctx.compute(static_cast<DurationNs>(rng.below(2000)));
+        }
+      }
+      ctx.compute(msec(10));
+    } else {
+      int got = 0;
+      net::Packet pkt;
+      while (got < 80) {
+        if (fabric.nic(2).pollRecv(pkt)) {
+          recv_order[pkt.src].push_back(pkt.channel);
+          ++got;
+        } else {
+          ctx.sleep();
+        }
+      }
+    }
+  });
+  for (int s = 0; s < 2; ++s) {
+    ASSERT_EQ(recv_order[s].size(), 40u);
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(recv_order[s][static_cast<std::size_t>(i)], i)
+          << "sender " << s;
+    }
+  }
+}
+
+TEST(FabricProperty, ContentionNeverSpeedsThingsUp) {
+  // A message on a congested path must arrive no earlier than on an idle
+  // one.
+  auto arrivalWithBackground = [](int background_msgs) {
+    sim::Engine eng;
+    net::FabricParams params;
+    net::Fabric fabric(eng, params, 3);
+    TimeNs arrival = 0;
+    eng.run(3, [&](sim::Context& ctx) {
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < background_msgs; ++i) {
+          net::Packet noise;
+          noise.src = 0;
+          noise.payload.resize(20000);
+          fabric.nic(0).postSend(2, std::move(noise));
+        }
+      } else if (ctx.rank() == 1) {
+        net::Packet probe;
+        probe.src = 1;
+        probe.channel = 99;
+        probe.payload.resize(10000);
+        fabric.nic(1).postSend(2, std::move(probe));
+      } else {
+        net::Packet pkt;
+        int seen = 0;
+        while (seen < background_msgs + 1) {
+          if (fabric.nic(2).pollRecv(pkt)) {
+            ++seen;
+            if (pkt.channel == 99) arrival = ctx.now();
+          } else {
+            ctx.sleep();
+          }
+        }
+      }
+    });
+    return arrival;
+  };
+  const TimeNs idle = arrivalWithBackground(0);
+  const TimeNs busy = arrivalWithBackground(6);
+  EXPECT_GT(idle, 0);
+  EXPECT_GT(busy, idle);
+}
+
+TEST(EngineEdge, HandlersSchedulingHandlersAtSameInstant) {
+  sim::Engine eng;
+  std::vector<int> order;
+  eng.run(1, [&](sim::Context& ctx) {
+    ctx.engine().after(100, [&] {
+      order.push_back(1);
+      ctx.engine().after(0, [&] { order.push_back(2); });
+      ctx.engine().after(0, [&] { order.push_back(3); });
+    });
+    ctx.compute(200);
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(EngineEdge, ScheduleInThePastClampsToNow) {
+  sim::Engine eng;
+  TimeNs ran_at = -1;
+  eng.run(1, [&](sim::Context& ctx) {
+    ctx.compute(500);
+    ctx.engine().schedule(100, [&] { ran_at = ctx.engine().now(); });
+    ctx.compute(100);
+  });
+  EXPECT_EQ(ran_at, 500);
+}
+
+TEST(EngineEdge, SelfSendDelivers) {
+  // A rank messaging itself through the full MPI stack.
+  mpi::JobConfig cfg;
+  cfg.nranks = 2;
+  mpi::Machine m(cfg);
+  int got = 0;
+  m.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      const int v = 123;
+      mpi::Request s = mpi.isend(&v, sizeof v, 0, 0);
+      int r = 0;
+      mpi.recv(&r, sizeof r, 0, 0);
+      mpi.wait(s);
+      got = r;
+    }
+  });
+  EXPECT_EQ(got, 123);
+}
+
+}  // namespace
+}  // namespace ovp

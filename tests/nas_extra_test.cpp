@@ -1,0 +1,76 @@
+// Tests for the EP and IS kernels and the paper's stated reasons for
+// omitting them from its figures (Sec. 4): EP performs minimal
+// communication; IS exhibits FT-like overlap behaviour.  Also covers the
+// newer MPI operations they exercise (alltoallv, waitany, testall, ssend).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nas/ep.hpp"
+#include "nas/ft.hpp"
+#include "nas/is.hpp"
+
+namespace ovp::nas {
+namespace {
+
+NasParams smallParams(int nranks, Class cls = Class::S) {
+  NasParams p;
+  p.nranks = nranks;
+  p.cls = cls;
+  return p;
+}
+
+TEST(NasEp, VerifiesAndIsPartitionInvariant) {
+  const NasResult a = runEp(smallParams(1));
+  const NasResult b = runEp(smallParams(4));
+  const NasResult c = runEp(smallParams(7));
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+  EXPECT_TRUE(c.verified);
+  // The LCG skip-ahead makes the global deviate set identical; only the
+  // summation order differs.
+  EXPECT_NEAR(a.checksum, b.checksum, 1e-7 * std::fabs(a.checksum));
+  EXPECT_NEAR(a.checksum, c.checksum, 1e-7 * std::fabs(a.checksum));
+}
+
+TEST(NasEp, CommunicationIsMinimal) {
+  // The paper omits EP because it barely communicates: its MPI time must
+  // be a trivial fraction of the run and its transfers a small fixed
+  // count (three reductions).
+  const NasResult r = runEp(smallParams(4, Class::A));
+  ASSERT_TRUE(r.verified);
+  EXPECT_LT(static_cast<double>(r.mpiTime()),
+            0.02 * static_cast<double>(r.time));
+  const auto whole = aggregateWhole(r.reports);
+  EXPECT_LT(whole.transfers, 100);
+}
+
+TEST(NasIs, SortsAndVerifies) {
+  const NasResult r = runIs(smallParams(4));
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.checksum, 0.0);
+}
+
+TEST(NasIs, ChecksumConsistentAcrossRankCounts) {
+  const NasResult a = runIs(smallParams(2));
+  const NasResult b = runIs(smallParams(8));
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+  EXPECT_NEAR(a.checksum, b.checksum, 1e-9 * a.checksum);
+}
+
+TEST(NasIs, OverlapBehavesLikeFt) {
+  // Both are dominated by all-to-all exchanges executed entirely inside
+  // library calls: low max overlap for the long-message class.
+  NasParams p = smallParams(4, Class::A);
+  p.preset = mpi::Preset::Mvapich2;
+  const NasResult is = runIs(p);
+  const NasResult ft = runFt(p);
+  ASSERT_TRUE(is.verified);
+  ASSERT_TRUE(ft.verified);
+  EXPECT_LT(is.maxPct(), 25.0);
+  EXPECT_LT(ft.maxPct(), 25.0);
+}
+
+}  // namespace
+}  // namespace ovp::nas

@@ -1,0 +1,197 @@
+// Exhaustive unit + property tests for the three-case overlap-bound
+// algorithm (paper Sec. 2.2).
+#include <gtest/gtest.h>
+
+#include "overlap/bounds.hpp"
+#include "util/rng.hpp"
+
+namespace ovp::overlap {
+namespace {
+
+BoundsInput caseTwo(DurationNs comp, DurationNs noncomp, DurationNs xfer) {
+  BoundsInput in;
+  in.begin_seen = in.end_seen = true;
+  in.same_call = false;
+  in.computation = comp;
+  in.noncomputation = noncomp;
+  in.xfer_time = xfer;
+  return in;
+}
+
+TEST(Bounds, Case1SameCallIsZeroZero) {
+  BoundsInput in;
+  in.begin_seen = in.end_seen = true;
+  in.same_call = true;
+  in.computation = 0;
+  in.noncomputation = 500;
+  in.xfer_time = 1000;
+  const Bounds b = computeBounds(in);
+  EXPECT_EQ(b.min_overlap, 0);
+  EXPECT_EQ(b.max_overlap, 0);
+}
+
+TEST(Bounds, Case2AmpleComputationGivesFullMax) {
+  // computation >= xfer_time -> potential for complete overlap.
+  const Bounds b = computeBounds(caseTwo(/*comp=*/2000, /*noncomp=*/100,
+                                         /*xfer=*/1000));
+  EXPECT_EQ(b.max_overlap, 1000);
+  EXPECT_EQ(b.min_overlap, 900);  // xfer - noncomp
+}
+
+TEST(Bounds, Case2ScarceComputationCapsMax) {
+  // computation < xfer_time -> only computation's worth can overlap.
+  const Bounds b = computeBounds(caseTwo(300, 100, 1000));
+  EXPECT_EQ(b.max_overlap, 300);
+}
+
+TEST(Bounds, Case2LargeNoncomputationZeroesMin) {
+  // noncomputation >= xfer_time -> potentially zero overlap.
+  const Bounds b = computeBounds(caseTwo(5000, 1500, 1000));
+  EXPECT_EQ(b.min_overlap, 0);
+  EXPECT_EQ(b.max_overlap, 1000);
+}
+
+TEST(Bounds, Case2MinIsXferMinusNoncomp) {
+  const Bounds b = computeBounds(caseTwo(5000, 400, 1000));
+  EXPECT_EQ(b.min_overlap, 600);
+}
+
+TEST(Bounds, Case2MinNeverExceedsMax) {
+  // Tiny computation but also tiny noncomputation: the naive formulas would
+  // give min > max; the implementation must clamp.
+  const Bounds b = computeBounds(caseTwo(/*comp=*/100, /*noncomp=*/50,
+                                         /*xfer=*/1000));
+  EXPECT_EQ(b.max_overlap, 100);
+  EXPECT_LE(b.min_overlap, b.max_overlap);
+}
+
+TEST(Bounds, Case3OnlyBeginSeen) {
+  BoundsInput in;
+  in.begin_seen = true;
+  in.end_seen = false;
+  in.xfer_time = 777;
+  const Bounds b = computeBounds(in);
+  EXPECT_EQ(b.min_overlap, 0);
+  EXPECT_EQ(b.max_overlap, 777);
+}
+
+TEST(Bounds, Case3OnlyEndSeen) {
+  BoundsInput in;
+  in.begin_seen = false;
+  in.end_seen = true;
+  in.xfer_time = 777;
+  const Bounds b = computeBounds(in);
+  EXPECT_EQ(b.min_overlap, 0);
+  EXPECT_EQ(b.max_overlap, 777);
+}
+
+TEST(Bounds, ZeroXferTimeGivesZeroBounds) {
+  BoundsInput in;
+  in.begin_seen = in.end_seen = true;
+  in.computation = 100;
+  in.xfer_time = 0;
+  const Bounds b = computeBounds(in);
+  EXPECT_EQ(b.min_overlap, 0);
+  EXPECT_EQ(b.max_overlap, 0);
+}
+
+TEST(Bounds, ZeroComputationCase2) {
+  const Bounds b = computeBounds(caseTwo(0, 100, 1000));
+  EXPECT_EQ(b.max_overlap, 0);
+  EXPECT_EQ(b.min_overlap, 0);
+}
+
+// ---- property sweep: invariants over a parameter grid ----
+
+struct GridParam {
+  DurationNs comp, noncomp, xfer;
+};
+
+class BoundsGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(BoundsGrid, InvariantsHold) {
+  const auto [comp, noncomp, xfer] = GetParam();
+  const Bounds b = computeBounds(caseTwo(comp, noncomp, xfer));
+  EXPECT_GE(b.min_overlap, 0);
+  EXPECT_LE(b.min_overlap, b.max_overlap);
+  EXPECT_LE(b.max_overlap, xfer);
+  EXPECT_LE(b.max_overlap, comp);
+}
+
+std::vector<GridParam> makeGrid() {
+  std::vector<GridParam> g;
+  const DurationNs vals[] = {0, 1, 10, 999, 1000, 1001, 50000};
+  for (auto c : vals) {
+    for (auto n : vals) {
+      for (auto x : vals) g.push_back({c, n, x});
+    }
+  }
+  return g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BoundsGrid, ::testing::ValuesIn(makeGrid()));
+
+TEST(BoundsProperty, MonotoneInComputation) {
+  // More interleaved computation can never reduce the max bound.
+  util::Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const DurationNs xfer = rng.range(1, 100000);
+    const DurationNs noncomp = rng.range(0, 100000);
+    const DurationNs c1 = rng.range(0, 100000);
+    const DurationNs c2 = c1 + rng.range(0, 10000);
+    const Bounds b1 = computeBounds(caseTwo(c1, noncomp, xfer));
+    const Bounds b2 = computeBounds(caseTwo(c2, noncomp, xfer));
+    EXPECT_GE(b2.max_overlap, b1.max_overlap);
+    EXPECT_GE(b2.min_overlap, b1.min_overlap);  // clamp can only rise
+  }
+}
+
+TEST(BoundsProperty, MonotoneInNoncomputation) {
+  // More library time can never increase the min bound.
+  util::Rng rng(43);
+  for (int i = 0; i < 500; ++i) {
+    const DurationNs xfer = rng.range(1, 100000);
+    const DurationNs comp = rng.range(0, 100000);
+    const DurationNs n1 = rng.range(0, 100000);
+    const DurationNs n2 = n1 + rng.range(0, 10000);
+    const Bounds b1 = computeBounds(caseTwo(comp, n1, xfer));
+    const Bounds b2 = computeBounds(caseTwo(comp, n2, xfer));
+    EXPECT_LE(b2.min_overlap, b1.min_overlap);
+    EXPECT_EQ(b2.max_overlap, b1.max_overlap);  // max ignores noncomp
+  }
+}
+
+TEST(BoundsProperty, TrueOverlapAlwaysWithinBounds) {
+  // Construct synthetic "ground truth" scenarios: a transfer of duration X
+  // begins; the host interleaves comp/noncomp segments; true overlap is the
+  // portion of [0, X] covered by computation.  The computed bounds must
+  // bracket it.
+  util::Rng rng(44);
+  for (int trial = 0; trial < 300; ++trial) {
+    const DurationNs xfer = rng.range(100, 10000);
+    DurationNs t = 0, comp = 0, noncomp = 0, true_overlap = 0;
+    const int segments = static_cast<int>(rng.range(1, 8));
+    for (int s = 0; s < segments; ++s) {
+      const DurationNs len = rng.range(0, 4000);
+      const bool is_comp = rng.uniform() < 0.5;
+      const DurationNs within = std::max<DurationNs>(
+          0, std::min(t + len, xfer) - std::min(t, xfer));
+      if (is_comp) {
+        comp += len;
+        true_overlap += within;
+      } else {
+        noncomp += len;
+      }
+      t += len;
+    }
+    if (t < xfer) continue;  // transfer must complete within observation
+    const Bounds b = computeBounds(caseTwo(comp, noncomp, xfer));
+    EXPECT_LE(b.min_overlap, true_overlap)
+        << "min bound must never exceed the true overlap";
+    EXPECT_GE(b.max_overlap, true_overlap)
+        << "max bound must never undercut the true overlap";
+  }
+}
+
+}  // namespace
+}  // namespace ovp::overlap

@@ -1,0 +1,421 @@
+// Tests for the Processor (event folding, attribution, integrals) and the
+// Monitor facade (circular queue, drains, sections, enable/disable,
+// finalize).  Event streams here are synthetic: this file validates the
+// framework independently of any communication library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "overlap/monitor.hpp"
+#include "overlap/processor.hpp"
+
+namespace ovp::overlap {
+namespace {
+
+XferTimeTable flatTable() {
+  // xfer_time(size) == size (1 ns/byte through the origin).
+  XferTimeTable t;
+  t.add(1, 1);
+  t.add(1 << 30, 1 << 30);
+  return t;
+}
+
+MonitorConfig testConfig(std::size_t queue = 64) {
+  MonitorConfig cfg;
+  cfg.queue_capacity = queue;
+  cfg.classes = SizeClasses::shortLong(1024);
+  cfg.table = flatTable();
+  cfg.event_cost = 0;
+  cfg.drain_cost_per_event = 0;
+  return cfg;
+}
+
+// Emits a canonical "Isend / compute / Wait" pattern:
+//   [enter@t0  begin(size)  exit@t0+inlib1]  compute  [enter  end  exit]
+void emitSplitCallTransfer(Monitor& m, TimeNs t0, Bytes size,
+                           DurationNs inlib1, DurationNs comp,
+                           DurationNs inlib2_before_end) {
+  (void)m.callEnter(t0);
+  auto [id, c] = m.xferBegin(t0 + 1, size);
+  (void)c;
+  (void)m.callExit(t0 + inlib1);
+  const TimeNs t1 = t0 + inlib1 + comp;
+  (void)m.callEnter(t1);
+  (void)m.xferEnd(t1 + inlib2_before_end, id);
+  (void)m.callExit(t1 + inlib2_before_end + 1);
+}
+
+TEST(Monitor, SplitCallTransferCase2FullOverlapPotential) {
+  Monitor m(testConfig(), 0);
+  // size 1000 -> xfer_time 1000; computation 5000 >= xfer; noncomp around
+  // the transfer: (inlib1 - 1) + inlib2 = 99 + 100 = 199.
+  emitSplitCallTransfer(m, 0, 1000, 100, 5000, 100);
+  const Report& r = m.report(10000);
+  EXPECT_EQ(r.whole.total.transfers, 1);
+  EXPECT_EQ(r.whole.total.data_transfer_time, 1000);
+  EXPECT_EQ(r.whole.total.max_overlapped, 1000);
+  EXPECT_EQ(r.whole.total.min_overlapped, 1000 - 199);
+  EXPECT_EQ(r.case_split_call, 1);
+}
+
+TEST(Monitor, SameCallTransferIsCase1Zero) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  auto [id, c0] = m.xferBegin(10, 5000);
+  (void)c0;
+  (void)m.xferEnd(6000, id);  // same call
+  (void)m.callExit(6100);
+  const Report& r = m.report(7000);
+  EXPECT_EQ(r.whole.total.max_overlapped, 0);
+  EXPECT_EQ(r.whole.total.min_overlapped, 0);
+  EXPECT_EQ(r.whole.total.data_transfer_time, 5000);
+  EXPECT_EQ(r.case_same_call, 1);
+}
+
+TEST(Monitor, ScarceComputationCapsMax) {
+  Monitor m(testConfig(), 0);
+  // computation 300 < xfer 1000.
+  emitSplitCallTransfer(m, 0, 1000, 50, 300, 50);
+  const Report& r = m.report(5000);
+  EXPECT_EQ(r.whole.total.max_overlapped, 300);
+}
+
+TEST(Monitor, UnmatchedEndIsCase3) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  (void)m.xferEndUnmatched(100, 2048);
+  (void)m.callExit(200);
+  const Report& r = m.report(300);
+  EXPECT_EQ(r.whole.total.transfers, 1);
+  EXPECT_EQ(r.whole.total.min_overlapped, 0);
+  EXPECT_EQ(r.whole.total.max_overlapped, 2048);
+  EXPECT_EQ(r.case_inconclusive, 1);
+}
+
+TEST(Monitor, UnfinishedTransferClosedAsCase3AtFinalize) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  auto [id, c0] = m.xferBegin(1, 512);
+  (void)id;
+  (void)c0;
+  (void)m.callExit(10);
+  const Report& r = m.report(1000);
+  EXPECT_EQ(r.whole.total.transfers, 1);
+  EXPECT_EQ(r.whole.total.max_overlapped, 512);
+  EXPECT_EQ(r.case_inconclusive, 1);
+}
+
+TEST(Monitor, ComputationAndCallTimeIntegrals) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(100);   // 0..100 precedes first event: not counted
+  (void)m.callExit(300);    // 200 in-call
+  (void)m.callEnter(1000);  // 700 compute
+  (void)m.callExit(1500);   // 500 in-call
+  const Report& r = m.report(1500);
+  EXPECT_EQ(r.whole.communication_call_time, 700);
+  EXPECT_EQ(r.whole.computation_time, 700);
+  EXPECT_EQ(r.whole.calls, 2);
+  EXPECT_EQ(r.monitored_time, 1400);
+}
+
+TEST(Monitor, SizeClassBreakdown) {
+  Monitor m(testConfig(), 0);
+  emitSplitCallTransfer(m, 0, 100, 10, 1000, 10);       // short
+  emitSplitCallTransfer(m, 5000, 50000, 10, 1000, 10);  // long
+  const Report& r = m.report(100000);
+  ASSERT_EQ(r.whole.by_class.size(), 2u);
+  EXPECT_EQ(r.whole.by_class[0].transfers, 1);
+  EXPECT_EQ(r.whole.by_class[0].bytes, 100);
+  EXPECT_EQ(r.whole.by_class[1].transfers, 1);
+  EXPECT_EQ(r.whole.by_class[1].bytes, 50000);
+  EXPECT_EQ(r.whole.total.transfers, 2);
+}
+
+TEST(Monitor, NestedCallsStampOnlyOutermost) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  (void)m.callEnter(10);   // nested (collective calling p2p)
+  (void)m.callExit(20);
+  (void)m.callExit(100);
+  (void)m.callEnter(200);
+  (void)m.callExit(300);
+  const Report& r = m.report(300);
+  EXPECT_EQ(r.whole.calls, 2);
+  EXPECT_EQ(r.whole.communication_call_time, 200);
+  EXPECT_EQ(r.whole.computation_time, 100);
+}
+
+TEST(Monitor, QueueDrainPreservesActiveTransfers) {
+  // A transfer spanning many queue drains must still be resolved as case 2
+  // with exact integrals ("information is maintained only for the set of
+  // currently active events").
+  Monitor m(testConfig(/*queue=*/8), 0);
+  (void)m.callEnter(0);
+  auto [id, c0] = m.xferBegin(1, 4000);
+  (void)c0;
+  (void)m.callExit(100);
+  TimeNs t = 100;
+  for (int i = 0; i < 50; ++i) {  // 100 events through an 8-slot queue
+    t += 100;                     // 100 compute before each call
+    (void)m.callEnter(t);
+    t += 10;                      // 10 in-call
+    (void)m.callExit(t);
+  }
+  t += 100;
+  (void)m.callEnter(t);
+  (void)m.xferEnd(t + 5, id);
+  (void)m.callExit(t + 10);
+  const Report& r = m.report(t + 10);
+  EXPECT_GT(m.queueDrains(), 5);
+  // computation between begin and end: 51 gaps of 100 = 5100 >= xfer 4000,
+  // so the max bound saturates at xfer_time.
+  EXPECT_EQ(r.whole.total.max_overlapped, 4000);
+  // noncomp: 99 (rest of first call) + 50*10 + 5 = 604.
+  EXPECT_EQ(r.whole.total.min_overlapped, 4000 - 604);
+  EXPECT_EQ(r.case_split_call, 1);
+}
+
+TEST(Monitor, EventCostsCharged) {
+  MonitorConfig cfg = testConfig(4);
+  cfg.event_cost = 7;
+  cfg.drain_cost_per_event = 3;
+  Monitor m(cfg, 0);
+  EXPECT_EQ(m.callEnter(0), 7);
+  EXPECT_EQ(m.callExit(1), 7);
+  EXPECT_EQ(m.callEnter(2), 7);
+  EXPECT_EQ(m.callExit(3), 7);
+  // Queue (capacity 4) is now full: next log costs event + 4 drained.
+  EXPECT_EQ(m.callEnter(4), 7 + 4 * 3);
+  EXPECT_EQ(m.queueDrains(), 1);
+}
+
+TEST(Monitor, DisableSuppressesLoggingAndTime) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  (void)m.callExit(100);
+  (void)m.setEnabled(150, false);
+  // Invisible while disabled: a same-call transfer and lots of time.
+  (void)m.callEnter(200);
+  auto [id, c0] = m.xferBegin(210, 4096);
+  (void)c0;
+  EXPECT_EQ(id, kInvalidTransfer);
+  (void)m.xferEnd(300, id);
+  (void)m.callExit(400);
+  (void)m.setEnabled(100000, true);
+  (void)m.callEnter(100100);
+  (void)m.callExit(100200);
+  const Report& r = m.report(100200);
+  EXPECT_EQ(r.whole.total.transfers, 0);
+  // Disabled gap (150..100000) excluded; computation = (0..0)+(100..150
+  // pre-disable) + (100000..100100 post-enable) = 50 + 100.
+  EXPECT_EQ(r.whole.computation_time, 150);
+  EXPECT_EQ(r.whole.communication_call_time, 200);
+  EXPECT_EQ(r.monitored_time, 100200 - (100000 - 150));
+}
+
+TEST(Monitor, SectionAttribution) {
+  Monitor m(testConfig(), 0);
+  // Transfer A inside section "solve", transfer B outside.
+  (void)m.sectionBegin(0, "solve");
+  emitSplitCallTransfer(m, 10, 2000, 10, 3000, 10);
+  (void)m.sectionEnd(6000);
+  emitSplitCallTransfer(m, 7000, 100, 10, 3000, 10);
+  const Report& r = m.report(20000);
+  EXPECT_EQ(r.whole.total.transfers, 2);
+  const SectionReport* solve = r.findSection("solve");
+  ASSERT_NE(solve, nullptr);
+  EXPECT_EQ(solve->total.transfers, 1);
+  EXPECT_EQ(solve->total.bytes, 2000);
+  EXPECT_EQ(solve->total.max_overlapped, 2000);
+  EXPECT_EQ(r.findSection("nope"), nullptr);
+}
+
+TEST(Monitor, SectionTransferAttributedAtBegin) {
+  // A transfer that BEGINs inside a section but ENDs after it counts toward
+  // the section.
+  Monitor m(testConfig(), 0);
+  (void)m.sectionBegin(0, "s");
+  (void)m.callEnter(10);
+  auto [id, c0] = m.xferBegin(11, 500);
+  (void)c0;
+  (void)m.callExit(20);
+  (void)m.sectionEnd(30);
+  (void)m.callEnter(1000);
+  (void)m.xferEnd(1001, id);
+  (void)m.callExit(1010);
+  const Report& r = m.report(1010);
+  const SectionReport* s = r.findSection("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->total.transfers, 1);
+}
+
+TEST(Monitor, SectionsNest) {
+  Monitor m(testConfig(), 0);
+  (void)m.sectionBegin(0, "outer");
+  (void)m.sectionBegin(10, "inner");
+  emitSplitCallTransfer(m, 20, 300, 10, 1000, 10);
+  (void)m.sectionEnd(2000);
+  (void)m.sectionEnd(2010);
+  const Report& r = m.report(2010);
+  EXPECT_EQ(r.findSection("outer")->total.transfers, 1);
+  EXPECT_EQ(r.findSection("inner")->total.transfers, 1);
+}
+
+TEST(Monitor, SectionComputationSplit) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  (void)m.callExit(10);  // then 90 compute outside any section
+  (void)m.sectionBegin(100, "s");
+  (void)m.callEnter(150);  // 50 compute inside section
+  (void)m.callExit(200);
+  (void)m.sectionEnd(250);  // another 50 compute inside
+  const Report& r = m.report(250);
+  const SectionReport* s = r.findSection("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->computation_time, 100);
+  EXPECT_EQ(s->communication_call_time, 50);
+  EXPECT_EQ(r.whole.computation_time, 190);
+}
+
+TEST(Monitor, ReportIsIdempotentAndStopsLogging) {
+  Monitor m(testConfig(), 3);
+  (void)m.callEnter(0);
+  (void)m.callExit(10);
+  const Report& r1 = m.report(10);
+  EXPECT_EQ(r1.rank, 3);
+  EXPECT_TRUE(m.finalized());
+  EXPECT_EQ(m.callEnter(20), 0);  // ignored
+  const Report& r2 = m.report(10);
+  EXPECT_EQ(&r1, &r2);
+  EXPECT_EQ(r2.whole.calls, 1);
+}
+
+TEST(Monitor, ReportWriterProducesReadableText) {
+  Monitor m(testConfig(), 1);
+  (void)m.sectionBegin(0, "phase1");
+  emitSplitCallTransfer(m, 10, 2000, 10, 5000, 10);
+  (void)m.sectionEnd(8000);
+  const Report& r = m.report(8000);
+  std::ostringstream os;
+  r.write(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("rank 1"), std::string::npos);
+  EXPECT_NE(text.find("phase1"), std::string::npos);
+  EXPECT_NE(text.find("max%"), std::string::npos);
+  EXPECT_NE(text.find("<all>"), std::string::npos);
+}
+
+TEST(Monitor, PercentagesAndNonOverlapped) {
+  OverlapAccum a;
+  a.addTransfer(1000, 1000, Bounds{250, 750});
+  EXPECT_DOUBLE_EQ(a.minPct(), 25.0);
+  EXPECT_DOUBLE_EQ(a.maxPct(), 75.0);
+  EXPECT_EQ(a.minNonOverlapped(), 250);
+  const OverlapAccum empty;
+  EXPECT_DOUBLE_EQ(empty.minPct(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.maxPct(), 0.0);
+}
+
+TEST(Monitor, MinimumQueueCapacityWorks) {
+  MonitorConfig cfg = testConfig(/*queue=*/1);
+  Monitor m(cfg, 0);
+  // Every push drains the single-slot queue; accounting must still be
+  // exact.
+  emitSplitCallTransfer(m, 0, 1000, 100, 5000, 100);
+  const Report& r = m.report(10000);
+  EXPECT_EQ(r.whole.total.max_overlapped, 1000);
+  EXPECT_EQ(r.whole.total.min_overlapped, 1000 - 199);
+  EXPECT_GE(m.queueDrains(), 5);
+}
+
+TEST(Monitor, SectionEndWithoutBeginIsHarmless) {
+  Monitor m(testConfig(), 0);
+  (void)m.sectionEnd(10);
+  (void)m.callEnter(20);
+  (void)m.callExit(30);
+  const Report& r = m.report(30);
+  EXPECT_EQ(r.whole.calls, 1);
+}
+
+TEST(Monitor, DisableWhileTransferOpenYieldsCase3) {
+  Monitor m(testConfig(), 0);
+  (void)m.callEnter(0);
+  auto [id, c] = m.xferBegin(1, 2048);
+  (void)c;
+  (void)m.callExit(10);
+  (void)m.setEnabled(20, false);
+  (void)m.xferEnd(100, id);  // dropped: monitoring is off
+  (void)m.setEnabled(200, true);
+  const Report& r = m.report(300);
+  EXPECT_EQ(r.case_inconclusive, 1);
+  EXPECT_EQ(r.whole.total.max_overlapped, 2048);
+}
+
+TEST(Monitor, UnmatchedEndWhileDisabledIsDropped) {
+  Monitor m(testConfig(), 0);
+  (void)m.setEnabled(0, false);
+  EXPECT_EQ(m.xferEndUnmatched(10, 4096), 0);
+  (void)m.setEnabled(20, true);
+  const Report& r = m.report(30);
+  EXPECT_EQ(r.whole.total.transfers, 0);
+}
+
+TEST(Monitor, RedundantEnableDisableAreFree) {
+  Monitor m(testConfig(), 0);
+  EXPECT_EQ(m.setEnabled(0, true), 0);  // already enabled
+  (void)m.setEnabled(10, false);
+  EXPECT_EQ(m.setEnabled(20, false), 0);  // already disabled
+}
+
+TEST(Monitor, ZeroDurationRunReportsCleanly) {
+  Monitor m(testConfig(), 0);
+  const Report& r = m.report(0);
+  EXPECT_EQ(r.monitored_time, 0);
+  EXPECT_EQ(r.whole.total.transfers, 0);
+  EXPECT_DOUBLE_EQ(r.whole.total.minPct(), 0.0);
+}
+
+TEST(Monitor, ManyConcurrentActiveTransfers) {
+  // Dozens of in-flight transfers spanning drains: exact bookkeeping for
+  // each (the "currently active events" state of paper Sec. 2.4).
+  Monitor m(testConfig(/*queue=*/16), 0);
+  std::vector<TransferId> ids;
+  (void)m.callEnter(0);
+  for (int i = 0; i < 40; ++i) {
+    auto [id, c] = m.xferBegin(i + 1, 100);
+    (void)c;
+    ids.push_back(id);
+  }
+  (void)m.callExit(100);
+  (void)m.callEnter(10000);  // 9900 of computation for every transfer
+  for (TransferId id : ids) (void)m.xferEnd(10001, id);
+  (void)m.callExit(10100);
+  const Report& r = m.report(10100);
+  EXPECT_EQ(r.whole.total.transfers, 40);
+  EXPECT_EQ(r.case_split_call, 40);
+  // Each transfer: xfer_time 100, computation 9900 -> max 100 each.
+  EXPECT_EQ(r.whole.total.max_overlapped, 40 * 100);
+}
+
+TEST(Processor, InternSectionIsStable) {
+  XferTimeTable t = flatTable();
+  Processor p(t, SizeClasses::single());
+  const SectionId a = p.internSection("x");
+  const SectionId b = p.internSection("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.internSection("x"), a);
+  EXPECT_NE(a, kSectionAll);
+}
+
+TEST(Processor, ActiveTransfersTracked) {
+  XferTimeTable t = flatTable();
+  Processor p(t, SizeClasses::single());
+  p.consume({EventType::CallEnter, 0, 0, 0});
+  p.consume({EventType::XferBegin, 1, 42, 100});
+  EXPECT_EQ(p.activeTransfers(), 1u);
+  p.consume({EventType::XferEnd, 2, 42, 0});
+  EXPECT_EQ(p.activeTransfers(), 0u);
+}
+
+}  // namespace
+}  // namespace ovp::overlap

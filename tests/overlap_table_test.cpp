@@ -1,0 +1,171 @@
+// Tests for the a-priori transfer-time table and message-size classes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "overlap/size_classes.hpp"
+#include "overlap/xfer_table.hpp"
+
+namespace ovp::overlap {
+namespace {
+
+TEST(XferTable, EmptyLookupIsZero) {
+  XferTimeTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.lookup(100), 0);
+}
+
+TEST(XferTable, ExactPointLookup) {
+  XferTimeTable t;
+  t.add(1024, 2000);
+  t.add(2048, 3500);
+  EXPECT_EQ(t.lookup(1024), 2000);
+  EXPECT_EQ(t.lookup(2048), 3500);
+}
+
+TEST(XferTable, LinearInterpolationBetweenPoints) {
+  XferTimeTable t;
+  t.add(1000, 1000);
+  t.add(3000, 3000);
+  EXPECT_EQ(t.lookup(2000), 2000);
+  EXPECT_EQ(t.lookup(1500), 1500);
+}
+
+TEST(XferTable, ExtrapolationAboveUsesLastSegmentBandwidth) {
+  XferTimeTable t;
+  t.add(1000, 2000);
+  t.add(2000, 3000);  // slope 1 ns/B on the last segment
+  EXPECT_EQ(t.lookup(4000), 3000 + 2000);
+}
+
+TEST(XferTable, ExtrapolationBelowFollowsFirstSegmentLine) {
+  XferTimeTable t;
+  t.add(1000, 1500);
+  t.add(2000, 2500);  // line: 500 + size
+  EXPECT_EQ(t.lookup(500), 1000);
+}
+
+TEST(XferTable, ExtrapolationBelowNeverNegative) {
+  XferTimeTable t;
+  t.add(1000, 10);
+  t.add(2000, 2000);  // steep line crosses zero above size 0
+  EXPECT_GE(t.lookup(1), 0);
+}
+
+TEST(XferTable, SinglePointScalesByBandwidth) {
+  XferTimeTable t;
+  t.add(1000, 500);
+  EXPECT_EQ(t.lookup(2000), 1000);
+  EXPECT_EQ(t.lookup(500), 250);
+}
+
+TEST(XferTable, NonPositiveSizeIsZero) {
+  XferTimeTable t;
+  t.add(100, 100);
+  EXPECT_EQ(t.lookup(0), 0);
+  EXPECT_EQ(t.lookup(-5), 0);
+}
+
+TEST(XferTable, AddReplacesSameSize) {
+  XferTimeTable t;
+  t.add(100, 100);
+  t.add(100, 999);
+  EXPECT_EQ(t.points(), 1u);
+  EXPECT_EQ(t.lookup(100), 999);
+}
+
+TEST(XferTable, UnsortedInsertionIsSorted) {
+  XferTimeTable t;
+  t.add(3000, 3000);
+  t.add(1000, 1000);
+  t.add(2000, 2000);
+  EXPECT_EQ(t.lookup(1500), 1500);
+}
+
+TEST(XferTable, SaveLoadRoundTrip) {
+  XferTimeTable t;
+  t.add(64, 1600);
+  t.add(1024, 2600);
+  t.add(1048576, 1050000);
+  std::stringstream ss;
+  t.save(ss);
+  XferTimeTable u;
+  ASSERT_TRUE(u.load(ss));
+  EXPECT_EQ(u.points(), 3u);
+  EXPECT_EQ(u.lookup(64), 1600);
+  EXPECT_EQ(u.lookup(1048576), 1050000);
+}
+
+TEST(XferTable, LoadSkipsCommentsAndBlanks) {
+  std::stringstream ss("# header\n\n100 200\n  # another\n300 400\n");
+  XferTimeTable t;
+  ASSERT_TRUE(t.load(ss));
+  EXPECT_EQ(t.points(), 2u);
+}
+
+TEST(XferTable, LoadRejectsMalformedLines) {
+  XferTimeTable t;
+  std::stringstream bad1("100 abc\n");
+  EXPECT_FALSE(t.load(bad1));
+  std::stringstream bad2("100\n");
+  EXPECT_FALSE(t.load(bad2));
+  std::stringstream bad3("100 200 300\n");
+  EXPECT_FALSE(t.load(bad3));
+  std::stringstream bad4("-4 200\n");
+  EXPECT_FALSE(t.load(bad4));
+}
+
+TEST(XferTable, FileRoundTrip) {
+  XferTimeTable t;
+  t.add(10, 20);
+  const std::string path = ::testing::TempDir() + "/ovp_xfer_table_test.txt";
+  ASSERT_TRUE(t.saveFile(path));
+  XferTimeTable u;
+  ASSERT_TRUE(u.loadFile(path));
+  EXPECT_EQ(u.lookup(10), 20);
+  EXPECT_FALSE(u.loadFile(path + ".does-not-exist"));
+}
+
+TEST(SizeClasses, SingleClassCatchesEverything) {
+  const SizeClasses c = SizeClasses::single();
+  EXPECT_EQ(c.count(), 1);
+  EXPECT_EQ(c.classOf(0), 0);
+  EXPECT_EQ(c.classOf(1 << 30), 0);
+  EXPECT_EQ(c.label(0), "all");
+}
+
+TEST(SizeClasses, ShortLongSplit) {
+  const SizeClasses c = SizeClasses::shortLong(1024);
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_EQ(c.classOf(0), 0);
+  EXPECT_EQ(c.classOf(1023), 0);
+  EXPECT_EQ(c.classOf(1024), 1);  // threshold itself is "long"
+  EXPECT_EQ(c.classOf(1 << 20), 1);
+  EXPECT_EQ(c.label(0), "<1 KB");
+  EXPECT_EQ(c.label(1), ">=1 KB");
+}
+
+TEST(SizeClasses, PowersOfTwoBins) {
+  const SizeClasses c = SizeClasses::powersOfTwo(1024, 4096);
+  // Bounds {1024, 2048, 4096} -> 4 classes.
+  EXPECT_EQ(c.count(), 4);
+  EXPECT_EQ(c.classOf(512), 0);
+  EXPECT_EQ(c.classOf(1024), 1);
+  EXPECT_EQ(c.classOf(2047), 1);
+  EXPECT_EQ(c.classOf(2048), 2);
+  EXPECT_EQ(c.classOf(4096), 3);
+  EXPECT_EQ(c.label(1), "[1 KB,2 KB)");
+}
+
+TEST(SizeClasses, ClassOfIsTotal) {
+  const SizeClasses c = SizeClasses::powersOfTwo(64, 1 << 22);
+  for (Bytes s : {Bytes{0}, Bytes{1}, Bytes{63}, Bytes{64}, Bytes{1 << 22},
+                  Bytes{1 << 26}}) {
+    const int k = c.classOf(s);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, c.count());
+  }
+}
+
+}  // namespace
+}  // namespace ovp::overlap

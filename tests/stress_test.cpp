@@ -1,0 +1,213 @@
+// Randomized stress and determinism tests across the whole stack: random
+// traffic patterns must deliver every payload intact under every protocol
+// preset, identical jobs must produce bit-identical virtual timelines, and
+// the framework's invariants must hold on arbitrary (valid) event streams.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "overlap/monitor.hpp"
+#include "util/rng.hpp"
+
+namespace ovp {
+namespace {
+
+struct Message {
+  Rank src;
+  Rank dst;
+  int tag;
+  Bytes size;
+  std::uint64_t seed;
+};
+
+/// Deterministic random traffic plan: every rank knows the global plan and
+/// handles its own sends/receives in plan order.
+std::vector<Message> makePlan(int nranks, int count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Message> plan;
+  std::map<std::pair<Rank, Rank>, int> next_tag;  // distinct tags per pair
+  for (int i = 0; i < count; ++i) {
+    Message m;
+    m.src = static_cast<Rank>(rng.below(static_cast<std::uint64_t>(nranks)));
+    m.dst = static_cast<Rank>(rng.below(static_cast<std::uint64_t>(nranks)));
+    if (m.dst == m.src) m.dst = static_cast<Rank>((m.src + 1) % nranks);
+    m.tag = next_tag[{m.src, m.dst}]++;
+    // Sizes straddle the eager/rendezvous boundary and the fragment size.
+    const Bytes sizes[] = {64, 4096, 16 * 1024, 40 * 1024, 200 * 1024};
+    m.size = sizes[rng.below(5)];
+    m.seed = rng.next();
+    plan.push_back(m);
+  }
+  return plan;
+}
+
+std::vector<std::uint8_t> payloadFor(const Message& m) {
+  util::Rng rng(m.seed);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(m.size));
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  return data;
+}
+
+class TrafficStress : public ::testing::TestWithParam<mpi::Preset> {};
+
+TEST_P(TrafficStress, RandomTrafficDeliversEverythingIntact) {
+  const int P = 5;
+  const auto plan = makePlan(P, 60, /*seed=*/2024);
+  mpi::JobConfig cfg;
+  cfg.nranks = P;
+  cfg.mpi.preset = GetParam();
+  mpi::Machine machine(cfg);
+  int bad_payloads = -1;
+  machine.run([&](mpi::Mpi& mpi) {
+    const Rank me = mpi.rank();
+    util::Rng jitter(static_cast<std::uint64_t>(me) + 7);
+    // Keep send buffers alive until completion.
+    std::vector<std::vector<std::uint8_t>> sbufs;
+    std::vector<std::vector<std::uint8_t>> rbufs;
+    std::vector<mpi::Request> reqs;
+    std::vector<const Message*> expected;
+    for (const Message& m : plan) {
+      if (m.src == me) {
+        sbufs.push_back(payloadFor(m));
+        reqs.push_back(
+            mpi.isend(sbufs.back().data(), m.size, m.dst, m.tag));
+      }
+      if (m.dst == me) {
+        rbufs.emplace_back(static_cast<std::size_t>(m.size));
+        expected.push_back(&m);
+        reqs.push_back(
+            mpi.irecv(rbufs.back().data(), m.size, m.src, m.tag));
+      }
+      if (jitter.below(3) == 0) {
+        mpi.compute(static_cast<DurationNs>(jitter.below(50000)));
+      }
+    }
+    mpi.waitall(reqs.data(), static_cast<int>(reqs.size()));
+    int bad = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      if (rbufs[i] != payloadFor(*expected[i])) ++bad;
+    }
+    if (me == 0) bad_payloads = bad;
+    double bad_local = bad, bad_sum = 0;
+    mpi.allreduce(&bad_local, &bad_sum, 1, mpi::Op::Sum);
+    if (me == 0) bad_payloads = static_cast<int>(bad_sum);
+  });
+  EXPECT_EQ(bad_payloads, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, TrafficStress,
+                         ::testing::Values(mpi::Preset::OpenMpiPipelined,
+                                           mpi::Preset::OpenMpiLeavePinned,
+                                           mpi::Preset::Mvapich2,
+                                           mpi::Preset::Mvapich2RdmaWrite),
+                         [](const auto& info) {
+                           return std::string(mpi::presetName(info.param))
+                                      .substr(0, 7) +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+TEST(Determinism, IdenticalJobsProduceIdenticalTimelines) {
+  auto runOnce = [] {
+    mpi::JobConfig cfg;
+    cfg.nranks = 4;
+    cfg.mpi.preset = mpi::Preset::Mvapich2;
+    mpi::Machine machine(cfg);
+    std::vector<std::uint8_t> buf(100000);
+    machine.run([&](mpi::Mpi& mpi) {
+      for (int i = 0; i < 10; ++i) {
+        const Rank peer = static_cast<Rank>(
+            (mpi.rank() + 1 + i) % mpi.size());
+        if (peer != mpi.rank()) {
+          mpi.sendrecv(buf.data(), 5000 + 999 * i, peer, i, buf.data(),
+                       100000, mpi::kAnySource, i);
+        }
+        mpi.compute(usec(17) * (i + 1));
+        mpi.barrier();
+      }
+    });
+    struct Snapshot {
+      TimeNs finish;
+      std::vector<DurationNs> min_overlap, comm_time;
+    } s;
+    s.finish = machine.finishTime();
+    for (const auto& r : machine.reports()) {
+      s.min_overlap.push_back(r.whole.total.min_overlapped);
+      s.comm_time.push_back(r.whole.communication_call_time);
+    }
+    return std::tuple{s.finish, s.min_overlap, s.comm_time};
+  };
+  const auto a = runOnce();
+  const auto b = runOnce();
+  EXPECT_EQ(a, b) << "the simulation must be bit-reproducible";
+}
+
+TEST(ProcessorProperty, RandomEventStreamsKeepInvariants) {
+  // Generate random valid event streams (well-formed call brackets with
+  // transfers beginning inside calls) and check the global invariants:
+  //   0 <= min <= max <= data_transfer_time, and
+  //   computation + communication == monitored span.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    overlap::MonitorConfig cfg;
+    cfg.queue_capacity = 32;  // force frequent drains
+    cfg.event_cost = 0;
+    cfg.drain_cost_per_event = 0;
+    overlap::XferTimeTable table;
+    table.add(1, 2);
+    table.add(1 << 20, 1 << 21);
+    cfg.table = table;
+    overlap::Monitor m(cfg, 0);
+    TimeNs t = 0;
+    std::vector<std::pair<TransferId, TimeNs>> open_xfers;
+    const int calls = 5 + static_cast<int>(rng.below(30));
+    for (int c = 0; c < calls; ++c) {
+      t += static_cast<DurationNs>(rng.below(5000));  // computation gap
+      (void)m.callEnter(t);
+      const int actions = static_cast<int>(rng.below(4));
+      for (int a = 0; a < actions; ++a) {
+        t += static_cast<DurationNs>(rng.below(300));
+        if (!open_xfers.empty() && rng.below(2) == 0) {
+          (void)m.xferEnd(t, open_xfers.back().first);
+          open_xfers.pop_back();
+        } else {
+          const Bytes size = 1 + static_cast<Bytes>(rng.below(100000));
+          const auto [id, cost] = m.xferBegin(t, size);
+          (void)cost;
+          open_xfers.push_back({id, t});
+        }
+      }
+      t += static_cast<DurationNs>(rng.below(1000));
+      (void)m.callExit(t);
+    }
+    const overlap::Report& r = m.report(t);
+    const auto& acc = r.whole.total;
+    EXPECT_GE(acc.min_overlapped, 0);
+    EXPECT_LE(acc.min_overlapped, acc.max_overlapped);
+    EXPECT_LE(acc.max_overlapped, acc.data_transfer_time);
+    EXPECT_EQ(r.whole.computation_time + r.whole.communication_call_time,
+              r.monitored_time);
+    EXPECT_EQ(r.case_same_call + r.case_split_call + r.case_inconclusive,
+              acc.transfers);
+  }
+}
+
+TEST(EngineStress, ManyRanksRandomComputeIsDeterministic) {
+  auto trace = [] {
+    sim::Engine eng;
+    std::vector<TimeNs> finish(24);
+    eng.run(24, [&](sim::Context& ctx) {
+      util::Rng rng(static_cast<std::uint64_t>(ctx.rank()) * 31 + 1);
+      for (int i = 0; i < 200; ++i) {
+        ctx.compute(static_cast<DurationNs>(rng.below(1000)));
+      }
+      finish[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+    });
+    return finish;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace ovp

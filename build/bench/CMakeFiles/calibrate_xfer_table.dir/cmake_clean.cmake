@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_xfer_table.dir/calibrate_xfer_table.cpp.o"
+  "CMakeFiles/calibrate_xfer_table.dir/calibrate_xfer_table.cpp.o.d"
+  "calibrate_xfer_table"
+  "calibrate_xfer_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_xfer_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_nas_ep_is.dir/extra_nas_ep_is.cpp.o"
+  "CMakeFiles/extra_nas_ep_is.dir/extra_nas_ep_is.cpp.o.d"
+  "extra_nas_ep_is"
+  "extra_nas_ep_is.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_nas_ep_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_nas_ep_is.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_nas_ep_is.
+# This may be replaced when dependencies are built.

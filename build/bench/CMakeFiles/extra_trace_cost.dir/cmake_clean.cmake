@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_trace_cost.dir/extra_trace_cost.cpp.o"
+  "CMakeFiles/extra_trace_cost.dir/extra_trace_cost.cpp.o.d"
+  "extra_trace_cost"
+  "extra_trace_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_trace_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_eager_isend_irecv.dir/fig03_eager_isend_irecv.cpp.o"
+  "CMakeFiles/fig03_eager_isend_irecv.dir/fig03_eager_isend_irecv.cpp.o.d"
+  "fig03_eager_isend_irecv"
+  "fig03_eager_isend_irecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_eager_isend_irecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_eager_isend_irecv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_isend_recv_pipelined.dir/fig04_isend_recv_pipelined.cpp.o"
+  "CMakeFiles/fig04_isend_recv_pipelined.dir/fig04_isend_recv_pipelined.cpp.o.d"
+  "fig04_isend_recv_pipelined"
+  "fig04_isend_recv_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_isend_recv_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_isend_recv_pipelined.
+# This may be replaced when dependencies are built.

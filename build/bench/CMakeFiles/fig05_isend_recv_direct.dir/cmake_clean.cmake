@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_isend_recv_direct.dir/fig05_isend_recv_direct.cpp.o"
+  "CMakeFiles/fig05_isend_recv_direct.dir/fig05_isend_recv_direct.cpp.o.d"
+  "fig05_isend_recv_direct"
+  "fig05_isend_recv_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_isend_recv_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_isend_recv_direct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_send_irecv_pipelined.dir/fig06_send_irecv_pipelined.cpp.o"
+  "CMakeFiles/fig06_send_irecv_pipelined.dir/fig06_send_irecv_pipelined.cpp.o.d"
+  "fig06_send_irecv_pipelined"
+  "fig06_send_irecv_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_send_irecv_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

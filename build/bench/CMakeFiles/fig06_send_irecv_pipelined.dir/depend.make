@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_send_irecv_pipelined.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_send_irecv_direct.dir/fig07_send_irecv_direct.cpp.o"
+  "CMakeFiles/fig07_send_irecv_direct.dir/fig07_send_irecv_direct.cpp.o.d"
+  "fig07_send_irecv_direct"
+  "fig07_send_irecv_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_send_irecv_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_send_irecv_direct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_isend_irecv_pipelined.dir/fig08_isend_irecv_pipelined.cpp.o"
+  "CMakeFiles/fig08_isend_irecv_pipelined.dir/fig08_isend_irecv_pipelined.cpp.o.d"
+  "fig08_isend_irecv_pipelined"
+  "fig08_isend_irecv_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_isend_irecv_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

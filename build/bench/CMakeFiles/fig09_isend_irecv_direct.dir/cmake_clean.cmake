@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_isend_irecv_direct.dir/fig09_isend_irecv_direct.cpp.o"
+  "CMakeFiles/fig09_isend_irecv_direct.dir/fig09_isend_irecv_direct.cpp.o.d"
+  "fig09_isend_irecv_direct"
+  "fig09_isend_irecv_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_isend_irecv_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

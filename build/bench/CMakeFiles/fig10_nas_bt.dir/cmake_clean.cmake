@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nas_bt.dir/fig10_nas_bt.cpp.o"
+  "CMakeFiles/fig10_nas_bt.dir/fig10_nas_bt.cpp.o.d"
+  "fig10_nas_bt"
+  "fig10_nas_bt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nas_bt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

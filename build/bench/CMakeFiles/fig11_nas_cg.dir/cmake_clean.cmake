@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_nas_cg.dir/fig11_nas_cg.cpp.o"
+  "CMakeFiles/fig11_nas_cg.dir/fig11_nas_cg.cpp.o.d"
+  "fig11_nas_cg"
+  "fig11_nas_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nas_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

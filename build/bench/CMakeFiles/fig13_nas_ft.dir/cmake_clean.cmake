@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_nas_ft.dir/fig13_nas_ft.cpp.o"
+  "CMakeFiles/fig13_nas_ft.dir/fig13_nas_ft.cpp.o.d"
+  "fig13_nas_ft"
+  "fig13_nas_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_nas_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sp_section_a.dir/fig14_sp_section_a.cpp.o"
+  "CMakeFiles/fig14_sp_section_a.dir/fig14_sp_section_a.cpp.o.d"
+  "fig14_sp_section_a"
+  "fig14_sp_section_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sp_section_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_sp_section_a.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sp_section_b.dir/fig15_sp_section_b.cpp.o"
+  "CMakeFiles/fig15_sp_section_b.dir/fig15_sp_section_b.cpp.o.d"
+  "fig15_sp_section_b"
+  "fig15_sp_section_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sp_section_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sp_full_a.dir/fig16_sp_full_a.cpp.o"
+  "CMakeFiles/fig16_sp_full_a.dir/fig16_sp_full_a.cpp.o.d"
+  "fig16_sp_full_a"
+  "fig16_sp_full_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sp_full_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

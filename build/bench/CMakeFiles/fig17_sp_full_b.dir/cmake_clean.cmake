@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_sp_full_b.dir/fig17_sp_full_b.cpp.o"
+  "CMakeFiles/fig17_sp_full_b.dir/fig17_sp_full_b.cpp.o.d"
+  "fig17_sp_full_b"
+  "fig17_sp_full_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sp_full_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_sp_mpi_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_armci_mg.dir/fig19_armci_mg.cpp.o"
+  "CMakeFiles/fig19_armci_mg.dir/fig19_armci_mg.cpp.o.d"
+  "fig19_armci_mg"
+  "fig19_armci_mg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_armci_mg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_overhead.dir/fig20_overhead.cpp.o"
+  "CMakeFiles/fig20_overhead.dir/fig20_overhead.cpp.o.d"
+  "fig20_overhead"
+  "fig20_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

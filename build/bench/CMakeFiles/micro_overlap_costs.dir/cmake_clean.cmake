@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_overlap_costs.dir/micro_overlap_costs.cpp.o"
+  "CMakeFiles/micro_overlap_costs.dir/micro_overlap_costs.cpp.o.d"
+  "micro_overlap_costs"
+  "micro_overlap_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overlap_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

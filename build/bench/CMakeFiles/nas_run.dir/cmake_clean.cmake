@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_run.dir/nas_run.cpp.o"
+  "CMakeFiles/nas_run.dir/nas_run.cpp.o.d"
+  "nas_run"
+  "nas_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_bench_common.dir/microbench.cpp.o"
+  "CMakeFiles/ovp_bench_common.dir/microbench.cpp.o.d"
+  "CMakeFiles/ovp_bench_common.dir/nas_figures.cpp.o"
+  "CMakeFiles/ovp_bench_common.dir/nas_figures.cpp.o.d"
+  "libovp_bench_common.a"
+  "libovp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

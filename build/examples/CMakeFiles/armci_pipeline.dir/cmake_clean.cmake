@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_pipeline.dir/armci_pipeline.cpp.o"
+  "CMakeFiles/armci_pipeline.dir/armci_pipeline.cpp.o.d"
+  "armci_pipeline"
+  "armci_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

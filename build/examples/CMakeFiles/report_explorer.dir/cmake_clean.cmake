@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_explorer.dir/report_explorer.cpp.o"
+  "CMakeFiles/report_explorer.dir/report_explorer.cpp.o.d"
+  "report_explorer"
+  "report_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

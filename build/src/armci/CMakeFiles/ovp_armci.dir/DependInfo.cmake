@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/armci/armci.cpp" "src/armci/CMakeFiles/ovp_armci.dir/armci.cpp.o" "gcc" "src/armci/CMakeFiles/ovp_armci.dir/armci.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ovp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/ovp_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ovp_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_armci.dir/armci.cpp.o"
+  "CMakeFiles/ovp_armci.dir/armci.cpp.o.d"
+  "libovp_armci.a"
+  "libovp_armci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/ovp_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/ovp_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/machine.cpp" "src/mpi/CMakeFiles/ovp_mpi.dir/machine.cpp.o" "gcc" "src/mpi/CMakeFiles/ovp_mpi.dir/machine.cpp.o.d"
+  "/root/repo/src/mpi/mpi.cpp" "src/mpi/CMakeFiles/ovp_mpi.dir/mpi.cpp.o" "gcc" "src/mpi/CMakeFiles/ovp_mpi.dir/mpi.cpp.o.d"
+  "/root/repo/src/mpi/trace.cpp" "src/mpi/CMakeFiles/ovp_mpi.dir/trace.cpp.o" "gcc" "src/mpi/CMakeFiles/ovp_mpi.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ovp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/ovp_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

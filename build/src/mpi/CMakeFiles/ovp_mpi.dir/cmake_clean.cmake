@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/ovp_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/ovp_mpi.dir/machine.cpp.o"
+  "CMakeFiles/ovp_mpi.dir/machine.cpp.o.d"
+  "CMakeFiles/ovp_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/ovp_mpi.dir/mpi.cpp.o.d"
+  "CMakeFiles/ovp_mpi.dir/trace.cpp.o"
+  "CMakeFiles/ovp_mpi.dir/trace.cpp.o.d"
+  "libovp_mpi.a"
+  "libovp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/bt.cpp" "src/nas/CMakeFiles/ovp_nas.dir/bt.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/bt.cpp.o.d"
+  "/root/repo/src/nas/cg.cpp" "src/nas/CMakeFiles/ovp_nas.dir/cg.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/cg.cpp.o.d"
+  "/root/repo/src/nas/common.cpp" "src/nas/CMakeFiles/ovp_nas.dir/common.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/common.cpp.o.d"
+  "/root/repo/src/nas/ep.cpp" "src/nas/CMakeFiles/ovp_nas.dir/ep.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/ep.cpp.o.d"
+  "/root/repo/src/nas/fft.cpp" "src/nas/CMakeFiles/ovp_nas.dir/fft.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/fft.cpp.o.d"
+  "/root/repo/src/nas/ft.cpp" "src/nas/CMakeFiles/ovp_nas.dir/ft.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/ft.cpp.o.d"
+  "/root/repo/src/nas/is.cpp" "src/nas/CMakeFiles/ovp_nas.dir/is.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/is.cpp.o.d"
+  "/root/repo/src/nas/lu.cpp" "src/nas/CMakeFiles/ovp_nas.dir/lu.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/lu.cpp.o.d"
+  "/root/repo/src/nas/mg.cpp" "src/nas/CMakeFiles/ovp_nas.dir/mg.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/mg.cpp.o.d"
+  "/root/repo/src/nas/sp.cpp" "src/nas/CMakeFiles/ovp_nas.dir/sp.cpp.o" "gcc" "src/nas/CMakeFiles/ovp_nas.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/ovp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/armci/CMakeFiles/ovp_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ovp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlap/CMakeFiles/ovp_overlap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ovp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ovp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_nas.dir/bt.cpp.o"
+  "CMakeFiles/ovp_nas.dir/bt.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/cg.cpp.o"
+  "CMakeFiles/ovp_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/common.cpp.o"
+  "CMakeFiles/ovp_nas.dir/common.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/ep.cpp.o"
+  "CMakeFiles/ovp_nas.dir/ep.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/fft.cpp.o"
+  "CMakeFiles/ovp_nas.dir/fft.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/ft.cpp.o"
+  "CMakeFiles/ovp_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/is.cpp.o"
+  "CMakeFiles/ovp_nas.dir/is.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/lu.cpp.o"
+  "CMakeFiles/ovp_nas.dir/lu.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/mg.cpp.o"
+  "CMakeFiles/ovp_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/ovp_nas.dir/sp.cpp.o"
+  "CMakeFiles/ovp_nas.dir/sp.cpp.o.d"
+  "libovp_nas.a"
+  "libovp_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

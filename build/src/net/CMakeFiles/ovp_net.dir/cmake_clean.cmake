@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_net.dir/memreg.cpp.o"
+  "CMakeFiles/ovp_net.dir/memreg.cpp.o.d"
+  "CMakeFiles/ovp_net.dir/nic.cpp.o"
+  "CMakeFiles/ovp_net.dir/nic.cpp.o.d"
+  "libovp_net.a"
+  "libovp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

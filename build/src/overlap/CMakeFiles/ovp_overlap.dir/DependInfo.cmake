@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlap/bounds.cpp" "src/overlap/CMakeFiles/ovp_overlap.dir/bounds.cpp.o" "gcc" "src/overlap/CMakeFiles/ovp_overlap.dir/bounds.cpp.o.d"
+  "/root/repo/src/overlap/monitor.cpp" "src/overlap/CMakeFiles/ovp_overlap.dir/monitor.cpp.o" "gcc" "src/overlap/CMakeFiles/ovp_overlap.dir/monitor.cpp.o.d"
+  "/root/repo/src/overlap/processor.cpp" "src/overlap/CMakeFiles/ovp_overlap.dir/processor.cpp.o" "gcc" "src/overlap/CMakeFiles/ovp_overlap.dir/processor.cpp.o.d"
+  "/root/repo/src/overlap/report.cpp" "src/overlap/CMakeFiles/ovp_overlap.dir/report.cpp.o" "gcc" "src/overlap/CMakeFiles/ovp_overlap.dir/report.cpp.o.d"
+  "/root/repo/src/overlap/size_classes.cpp" "src/overlap/CMakeFiles/ovp_overlap.dir/size_classes.cpp.o" "gcc" "src/overlap/CMakeFiles/ovp_overlap.dir/size_classes.cpp.o.d"
+  "/root/repo/src/overlap/xfer_table.cpp" "src/overlap/CMakeFiles/ovp_overlap.dir/xfer_table.cpp.o" "gcc" "src/overlap/CMakeFiles/ovp_overlap.dir/xfer_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ovp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

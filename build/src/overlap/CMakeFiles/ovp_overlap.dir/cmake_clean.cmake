@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_overlap.dir/bounds.cpp.o"
+  "CMakeFiles/ovp_overlap.dir/bounds.cpp.o.d"
+  "CMakeFiles/ovp_overlap.dir/monitor.cpp.o"
+  "CMakeFiles/ovp_overlap.dir/monitor.cpp.o.d"
+  "CMakeFiles/ovp_overlap.dir/processor.cpp.o"
+  "CMakeFiles/ovp_overlap.dir/processor.cpp.o.d"
+  "CMakeFiles/ovp_overlap.dir/report.cpp.o"
+  "CMakeFiles/ovp_overlap.dir/report.cpp.o.d"
+  "CMakeFiles/ovp_overlap.dir/size_classes.cpp.o"
+  "CMakeFiles/ovp_overlap.dir/size_classes.cpp.o.d"
+  "CMakeFiles/ovp_overlap.dir/xfer_table.cpp.o"
+  "CMakeFiles/ovp_overlap.dir/xfer_table.cpp.o.d"
+  "libovp_overlap.a"
+  "libovp_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_sim.dir/engine.cpp.o"
+  "CMakeFiles/ovp_sim.dir/engine.cpp.o.d"
+  "libovp_sim.a"
+  "libovp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

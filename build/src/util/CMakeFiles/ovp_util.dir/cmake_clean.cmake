@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ovp_util.dir/flags.cpp.o"
+  "CMakeFiles/ovp_util.dir/flags.cpp.o.d"
+  "CMakeFiles/ovp_util.dir/strings.cpp.o"
+  "CMakeFiles/ovp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ovp_util.dir/table.cpp.o"
+  "CMakeFiles/ovp_util.dir/table.cpp.o.d"
+  "libovp_util.a"
+  "libovp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ovp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libovp_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armci_test.dir/armci_test.cpp.o"
+  "CMakeFiles/armci_test.dir/armci_test.cpp.o.d"
+  "armci_test"
+  "armci_test.pdb"
+  "armci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

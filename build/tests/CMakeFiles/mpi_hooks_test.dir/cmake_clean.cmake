@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_hooks_test.dir/mpi_hooks_test.cpp.o"
+  "CMakeFiles/mpi_hooks_test.dir/mpi_hooks_test.cpp.o.d"
+  "mpi_hooks_test"
+  "mpi_hooks_test.pdb"
+  "mpi_hooks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_hooks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_bounds_test.dir/overlap_bounds_test.cpp.o"
+  "CMakeFiles/overlap_bounds_test.dir/overlap_bounds_test.cpp.o.d"
+  "overlap_bounds_test"
+  "overlap_bounds_test.pdb"
+  "overlap_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_report_test.dir/overlap_report_test.cpp.o"
+  "CMakeFiles/overlap_report_test.dir/overlap_report_test.cpp.o.d"
+  "overlap_report_test"
+  "overlap_report_test.pdb"
+  "overlap_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

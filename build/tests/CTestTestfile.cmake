@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_table_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_overlap_test[1]_include.cmake")
+include("/root/repo/build/tests/armci_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_report_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_hooks_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -6,7 +6,11 @@
 //   nas_run [--kernel=cg|bt|lu|ft|sp|mg|ep|is] [--class=S|A|B]
 //           [--procs=N] [--preset=pipelined|leavepinned|mvapich2|mv2write]
 //           [--modified] [--variant=mpi|armci|armci-nb]
-//           [--reports=/path/prefix] [--iterations=N]
+//           [--reports=/path/prefix] [--iterations=N] [--ovprof-verify]
+//
+// --ovprof-verify (or OVPROF_VERIFY=1) attaches the analysis layer: a
+// StreamVerifier on every rank's event stream plus the library UsageChecker.
+// Findings are printed to stderr and make the run exit non-zero.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   params.nranks = static_cast<int>(flags.getInt("procs", 4));
   params.iterations = static_cast<int>(flags.getInt("iterations", 0));
   params.modified = flags.getBool("modified", false);
+  params.verify = util::verifyRequested(flags);
   const std::string preset = flags.getString("preset", "mvapich2");
   params.preset = preset == "pipelined" ? mpi::Preset::OpenMpiPipelined
                   : preset == "leavepinned"
@@ -101,6 +106,12 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %zu report files to %s.rank*.ovp\n",
                 result.reports.size(), reports.c_str());
+  }
+  if (params.verify) {
+    std::printf("verifier:   %zu diagnostic(s), %s\n",
+                result.diagnostics.size(),
+                analysis::clean(result.diagnostics) ? "clean" : "NOT CLEAN");
+    if (!analysis::clean(result.diagnostics)) return 1;
   }
   return result.verified ? 0 : 1;
 }

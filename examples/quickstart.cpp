@@ -17,13 +17,19 @@
 #include <vector>
 
 #include "mpi/machine.hpp"
+#include "util/flags.hpp"
 
 using namespace ovp;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Flags flags;
+  if (!flags.parse(argc, argv)) return 2;
+
   mpi::JobConfig job;
   job.nranks = 2;
   job.mpi.preset = mpi::Preset::Mvapich2;  // try OpenMpiPipelined!
+  // --ovprof-verify (or OVPROF_VERIFY=1) attaches the analysis layer.
+  job.mpi.verify = util::verifyRequested(flags);
 
   constexpr Bytes kMessage = 1 << 20;
   constexpr int kIters = 20;
@@ -58,5 +64,6 @@ int main() {
       "  NOT overlapped and is the first place to look for lost time.\n",
       total.minPct(), total.maxPct(), toMsec(total.data_transfer_time),
       toMsec(total.minNonOverlapped()));
+  if (job.mpi.verify && !analysis::clean(machine.diagnostics())) return 1;
   return 0;
 }

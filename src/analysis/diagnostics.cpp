@@ -1,0 +1,62 @@
+#include "analysis/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ovp::analysis {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+const char* diagCodeName(DiagCode c) {
+  switch (c) {
+    case DiagCode::TimeRegression: return "TIME_REGRESSION";
+    case DiagCode::CallEnterNested: return "CALL_ENTER_NESTED";
+    case DiagCode::CallExitWithoutEnter: return "CALL_EXIT_WITHOUT_ENTER";
+    case DiagCode::CallOpenAtEnd: return "CALL_OPEN_AT_END";
+    case DiagCode::XferBeginMalformed: return "XFER_BEGIN_MALFORMED";
+    case DiagCode::XferBeginDuplicate: return "XFER_BEGIN_DUPLICATE";
+    case DiagCode::XferEndUnknownId: return "XFER_END_UNKNOWN_ID";
+    case DiagCode::XferEndMalformed: return "XFER_END_MALFORMED";
+    case DiagCode::XferOpenAtEnd: return "XFER_OPEN_AT_END";
+    case DiagCode::SectionEndWithoutBegin: return "SECTION_END_WITHOUT_BEGIN";
+    case DiagCode::SectionOpenAtEnd: return "SECTION_OPEN_AT_END";
+    case DiagCode::EnableWithoutDisable: return "ENABLE_WITHOUT_DISABLE";
+    case DiagCode::DisableWhileDisabled: return "DISABLE_WHILE_DISABLED";
+    case DiagCode::EventWhileDisabled: return "EVENT_WHILE_DISABLED";
+    case DiagCode::EventCountMismatch: return "EVENT_COUNT_MISMATCH";
+    case DiagCode::RequestLeak: return "REQUEST_LEAK";
+    case DiagCode::DoubleWait: return "DOUBLE_WAIT";
+    case DiagCode::SendBufferReuse: return "SEND_BUFFER_REUSE";
+    case DiagCode::RecvBufferOverlap: return "RECV_BUFFER_OVERLAP";
+    case DiagCode::SectionMismatch: return "SECTION_MISMATCH";
+  }
+  return "?";
+}
+
+std::string Diagnostic::toString() const {
+  std::ostringstream os;
+  os << severityName(severity) << '[' << diagCodeName(code) << "] rank "
+     << rank;
+  if (has_event) {
+    os << " event #" << event_index << " ("
+       << overlap::eventTypeName(event.type) << " t=" << event.time
+       << " id=" << event.id << " size=" << event.size << ')';
+  }
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+bool clean(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity != Severity::Note) return false;
+  }
+  return true;
+}
+
+}  // namespace ovp::analysis

@@ -1,0 +1,80 @@
+// Diagnostics emitted by the analysis layer (StreamVerifier, UsageChecker).
+//
+// The instrumentation framework's measures are only as trustworthy as the
+// event stream they are computed from: one unbalanced CALL_ENTER or orphaned
+// XFER_BEGIN silently corrupts every downstream [min,max] overlap bound.
+// The analysis layer checks those invariants and reports violations as
+// structured diagnostics that carry enough context (severity, rank, stream
+// position, offending event) to locate the bug in the instrumented library
+// or the application.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "overlap/events.hpp"
+#include "util/types.hpp"
+
+namespace ovp::analysis {
+
+enum class Severity : std::uint8_t {
+  /// Expected-but-noteworthy end states (e.g. transfers the processor will
+  /// close as the paper's inconclusive case 3 at finalize).
+  Note,
+  /// Likely application misuse; measures may still be meaningful.
+  Warning,
+  /// Invariant violation; downstream overlap bounds cannot be trusted.
+  Error,
+};
+
+enum class DiagCode : std::uint8_t {
+  // ---- StreamVerifier: event-stream invariants ----
+  TimeRegression,         // event timestamp earlier than its predecessor
+  CallEnterNested,        // CALL_ENTER while already inside a call
+  CallExitWithoutEnter,   // CALL_EXIT with no matching CALL_ENTER
+  CallOpenAtEnd,          // stream ended inside a library call
+  XferBeginMalformed,     // XFER_BEGIN with invalid id or non-positive size
+  XferBeginDuplicate,     // XFER_BEGIN reusing a still-active transfer id
+  XferEndUnknownId,       // XFER_END whose id was never begun (not case 3)
+  XferEndMalformed,       // unmatched XFER_END carrying no size (not case 3)
+  XferOpenAtEnd,          // transfers still open at end of stream (case 3)
+  SectionEndWithoutBegin, // SECTION_END with empty section stack
+  SectionOpenAtEnd,       // named sections still open at end of stream
+  EnableWithoutDisable,   // ENABLE while monitoring was not disabled
+  DisableWhileDisabled,   // DISABLE while already disabled
+  EventWhileDisabled,     // any event logged inside an exclusion window
+  EventCountMismatch,     // drained events != events the monitor logged
+  // ---- UsageChecker: library-API misuse ----
+  RequestLeak,            // nonblocking request never waited/tested
+  DoubleWait,             // wait on an already-completed/inactive handle
+  SendBufferReuse,        // buffer aliased by an in-flight opposite-direction op
+  RecvBufferOverlap,      // two posted receives target overlapping bytes
+  SectionMismatch,        // section end without begin / open at finalize
+};
+
+[[nodiscard]] const char* severityName(Severity s);
+[[nodiscard]] const char* diagCodeName(DiagCode c);
+
+/// One finding.  `event`/`event_index` are set only for stream-level
+/// diagnostics (event_index is the 0-based position in the rank's drained
+/// event sequence).
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  DiagCode code = DiagCode::TimeRegression;
+  Rank rank = -1;
+  std::int64_t event_index = -1;
+  bool has_event = false;
+  overlap::Event event{};
+  std::string detail;
+
+  /// "error[XFER_END_UNKNOWN_ID] rank 2 event #17 (XFER_END t=120 id=9): ..."
+  [[nodiscard]] std::string toString() const;
+};
+
+/// True when no finding rises above Note level.  Notes describe expected
+/// end states (e.g. transfers finalize closes as case 3) and must not fail
+/// a run.
+[[nodiscard]] bool clean(const std::vector<Diagnostic>& diags);
+
+}  // namespace ovp::analysis

@@ -1,0 +1,163 @@
+#include "analysis/stream_verifier.hpp"
+
+#include <string>
+
+#include "overlap/monitor.hpp"
+
+namespace ovp::analysis {
+
+using overlap::Event;
+using overlap::EventType;
+
+StreamVerifier::StreamVerifier(Rank rank, StreamVerifierConfig cfg)
+    : cfg_(cfg), rank_(rank) {}
+
+void StreamVerifier::report(Severity sev, DiagCode code, const Event* e,
+                            std::string detail) {
+  if (diags_.size() >= cfg_.max_diagnostics) return;
+  Diagnostic d;
+  d.severity = sev;
+  d.code = code;
+  d.rank = rank_;
+  d.detail = std::move(detail);
+  if (e != nullptr) {
+    d.has_event = true;
+    d.event = *e;
+    d.event_index = events_seen_;  // index of the event being consumed
+  }
+  diags_.push_back(std::move(d));
+}
+
+void StreamVerifier::consume(const Event& e) {
+  if (events_seen_ > 0 && e.time < last_time_) {
+    report(Severity::Error, DiagCode::TimeRegression, &e,
+           "timestamp " + std::to_string(e.time) + " < predecessor " +
+               std::to_string(last_time_));
+  }
+  last_time_ = e.time;
+
+  // A repeated DISABLE is diagnosed below as DisableWhileDisabled; don't
+  // also flag it as an event inside the window.
+  if (disabled_ && e.type != EventType::Enable &&
+      e.type != EventType::Disable) {
+    report(Severity::Error, DiagCode::EventWhileDisabled, &e,
+           "event stamped inside a DISABLE/ENABLE exclusion window");
+  }
+
+  switch (e.type) {
+    case EventType::CallEnter:
+      if (in_call_) {
+        report(Severity::Error, DiagCode::CallEnterNested, &e,
+               "monitor must collapse nested library calls");
+      }
+      in_call_ = true;
+      call_depth_known_ = true;
+      break;
+    case EventType::CallExit:
+      if (!in_call_) {
+        if (call_depth_known_) {
+          report(Severity::Error, DiagCode::CallExitWithoutEnter, &e,
+                 "no CALL_ENTER is outstanding");
+        }
+        // Either way the depth is 0 and known again.
+        call_depth_known_ = true;
+      }
+      in_call_ = false;
+      break;
+    case EventType::XferBegin:
+      if (e.id == kInvalidTransfer || e.size <= 0) {
+        report(Severity::Error, DiagCode::XferBeginMalformed, &e,
+               "XFER_BEGIN needs a valid id and positive size");
+      } else if (!active_xfers_.insert(e.id).second) {
+        report(Severity::Error, DiagCode::XferBeginDuplicate, &e,
+               "transfer id is already active");
+      }
+      break;
+    case EventType::XferEnd:
+      if (e.id == kInvalidTransfer) {
+        if (e.size > 0 && cfg_.allow_unmatched_end) {
+          ++case3_ends_;  // paper case 3: initiation invisible to this rank
+        } else {
+          report(Severity::Error, DiagCode::XferEndMalformed, &e,
+                 e.size > 0 ? "unmatched XFER_END (case 3 disallowed here)"
+                            : "unmatched XFER_END carries no size");
+        }
+      } else if (active_xfers_.erase(e.id) == 0) {
+        report(Severity::Error, DiagCode::XferEndUnknownId, &e,
+               "no active XFER_BEGIN with id " + std::to_string(e.id));
+      }
+      break;
+    case EventType::SectionBegin:
+      ++section_depth_;
+      break;
+    case EventType::SectionEnd:
+      if (section_depth_ == 0) {
+        report(Severity::Error, DiagCode::SectionEndWithoutBegin, &e,
+               "section stack is empty");
+      } else {
+        --section_depth_;
+      }
+      break;
+    case EventType::Disable:
+      if (disabled_) {
+        report(Severity::Error, DiagCode::DisableWhileDisabled, &e,
+               "monitoring is already disabled");
+      }
+      disabled_ = true;
+      break;
+    case EventType::Enable:
+      if (!disabled_) {
+        report(Severity::Error, DiagCode::EnableWithoutDisable, &e,
+               "monitoring was not disabled");
+      }
+      disabled_ = false;
+      // Library calls entered/left while disabled were not logged.
+      call_depth_known_ = false;
+      break;
+  }
+  ++events_seen_;
+}
+
+void StreamVerifier::finish(std::int64_t expected_events) {
+  if (finished_) return;
+  finished_ = true;
+  if (in_call_) {
+    report(Severity::Warning, DiagCode::CallOpenAtEnd, nullptr,
+           "stream ended inside a library call");
+  }
+  if (section_depth_ > 0) {
+    report(Severity::Warning, DiagCode::SectionOpenAtEnd, nullptr,
+           std::to_string(section_depth_) + " section(s) never ended");
+  }
+  if (!active_xfers_.empty()) {
+    // Legitimate: the processor closes these as inconclusive case 3.
+    report(Severity::Note, DiagCode::XferOpenAtEnd, nullptr,
+           std::to_string(active_xfers_.size()) +
+               " transfer(s) still open; finalize counts them as case 3");
+  }
+  if (expected_events >= 0 && expected_events != events_seen_) {
+    report(Severity::Error, DiagCode::EventCountMismatch, nullptr,
+           "monitor logged " + std::to_string(expected_events) +
+               " events but " + std::to_string(events_seen_) +
+               " were drained");
+  }
+}
+
+void StreamVerifier::attach(overlap::Monitor& m) {
+  m.setEventObserver([this](const Event& e) { consume(e); });
+}
+
+bool StreamVerifier::clean() const {
+  for (const Diagnostic& d : diags_) {
+    if (d.severity != Severity::Note) return false;
+  }
+  return true;
+}
+
+std::int64_t StreamVerifier::errorCount() const {
+  std::int64_t n = 0;
+  for (const Diagnostic& d : diags_) n += d.severity == Severity::Error;
+  return n;
+}
+
+}  // namespace ovp::analysis

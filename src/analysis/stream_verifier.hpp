@@ -1,0 +1,97 @@
+// StreamVerifier: online checker of the instrumentation event stream.
+//
+// Consumes the exact overlap::Event sequence the data-processing module
+// sees (attach it as the Monitor's event observer, so it runs at queue-drain
+// time) and checks every invariant the paper's measures silently rely on:
+//
+//   * timestamps are non-decreasing;
+//   * CALL_ENTER/CALL_EXIT strictly alternate (the Monitor collapses nested
+//     library calls, so a nested ENTER in the stream is corruption);
+//   * XFER_BEGIN ids are fresh and every XFER_END matches an active BEGIN —
+//     except the paper's legitimate case 3: an END with an invalid id but a
+//     real size models a transfer whose initiation was invisible to this
+//     process (e.g. an eagerly received message) and is NOT a violation;
+//   * SECTION_BEGIN/SECTION_END nest;
+//   * DISABLE/ENABLE alternate and no event is stamped inside an exclusion
+//     window;
+//   * (at finish) the number of events drained equals the number the
+//     Monitor says it logged — the queue-drain loss accounting.
+//
+// One deliberate tolerance: after an ENABLE the call depth is unknown (the
+// application may have entered a library call while monitoring was off), so
+// the first CALL_EXIT after re-enabling is accepted without a matching
+// ENTER.  Transfers still open at end-of-stream are a Note, not an error:
+// the processor closes them as inconclusive case-3 transfers at finalize.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "overlap/events.hpp"
+#include "util/types.hpp"
+
+namespace ovp::overlap {
+class Monitor;
+}  // namespace ovp::overlap
+
+namespace ovp::analysis {
+
+struct StreamVerifierConfig {
+  /// Accept unmatched XFER_ENDs that carry a size (paper case 3).  Turning
+  /// this off treats them as XferEndMalformed — useful for libraries whose
+  /// protocols always observe both endpoints (e.g. one-sided ARMCI).
+  bool allow_unmatched_end = true;
+  /// Stop recording after this many diagnostics (the stream is already
+  /// untrustworthy; don't let a systematic corruption allocate unboundedly).
+  std::size_t max_diagnostics = 256;
+};
+
+class StreamVerifier {
+ public:
+  explicit StreamVerifier(Rank rank, StreamVerifierConfig cfg = {});
+
+  /// Feeds the next event of the rank's stream.
+  void consume(const overlap::Event& e);
+
+  /// End-of-stream checks.  `expected_events` is the producer's own count
+  /// (Monitor::eventsLogged()); pass -1 to skip the loss accounting.
+  void finish(std::int64_t expected_events = -1);
+
+  /// Installs this verifier as `m`'s event observer.  The verifier must
+  /// outlive the monitor's last drain.
+  void attach(overlap::Monitor& m);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  /// No Error- or Warning-level findings (Notes don't count).
+  [[nodiscard]] bool clean() const;
+  [[nodiscard]] std::int64_t errorCount() const;
+  [[nodiscard]] std::int64_t eventsSeen() const { return events_seen_; }
+  /// Unmatched-but-legitimate case-3 ENDs observed (for tests/reports).
+  [[nodiscard]] std::int64_t case3Ends() const { return case3_ends_; }
+
+ private:
+  void report(Severity sev, DiagCode code, const overlap::Event* e,
+              std::string detail);
+
+  StreamVerifierConfig cfg_;
+  Rank rank_;
+  std::vector<Diagnostic> diags_;
+
+  std::int64_t events_seen_ = 0;
+  std::int64_t case3_ends_ = 0;
+  TimeNs last_time_ = 0;
+  bool in_call_ = false;
+  /// False right after an ENABLE: the next CALL_EXIT may legitimately lack
+  /// a logged CALL_ENTER (see header comment).
+  bool call_depth_known_ = true;
+  bool disabled_ = false;
+  int section_depth_ = 0;
+  std::unordered_set<TransferId> active_xfers_;
+  bool finished_ = false;
+};
+
+}  // namespace ovp::analysis

@@ -1,0 +1,84 @@
+#include "analysis/usage_checker.hpp"
+
+#include <algorithm>
+
+namespace ovp::analysis {
+
+UsageChecker::UsageChecker(Rank rank, UsageCheckerConfig cfg)
+    : cfg_(cfg), rank_(rank) {}
+
+void UsageChecker::emit(Severity sev, DiagCode code, std::string detail) {
+  if (diags_.size() >= cfg_.max_diagnostics) return;
+  Diagnostic d;
+  d.severity = sev;
+  d.code = code;
+  d.rank = rank_;
+  d.detail = std::move(detail);
+  diags_.push_back(std::move(d));
+}
+
+void UsageChecker::onRequestPosted(std::uint64_t uid, bool is_send,
+                                   const void* buf, Bytes n,
+                                   std::string_view api) {
+  const auto* lo = static_cast<const std::byte*>(buf);
+  const auto* hi = (buf != nullptr && n > 0) ? lo + n : lo;
+  if (lo != hi) {
+    for (const LiveReq& r : live_) {
+      if (r.lo == r.hi) continue;
+      if (lo >= r.hi || hi <= r.lo) continue;  // disjoint
+      if (is_send && r.is_send) continue;      // read-read: allowed
+      const bool both_recv = !is_send && !r.is_send;
+      emit(Severity::Error,
+           both_recv ? DiagCode::RecvBufferOverlap : DiagCode::SendBufferReuse,
+           std::string(api) + " buffer overlaps the buffer of in-flight " +
+               r.api + " (request #" + std::to_string(r.uid) + ')');
+      break;  // one finding per post is enough
+    }
+  }
+  LiveReq r;
+  r.uid = uid;
+  r.is_send = is_send;
+  r.lo = lo;
+  r.hi = hi;
+  r.api = std::string(api);
+  live_.push_back(std::move(r));
+}
+
+void UsageChecker::onRequestConsumed(std::uint64_t uid) {
+  const auto it = std::find_if(live_.begin(), live_.end(),
+                               [&](const LiveReq& r) { return r.uid == uid; });
+  if (it != live_.end()) live_.erase(it);
+}
+
+void UsageChecker::onWaitInactive(std::string_view api) {
+  emit(Severity::Warning, DiagCode::DoubleWait,
+       std::string(api) + " on an inactive request handle (double wait?)");
+}
+
+void UsageChecker::onSectionBegin() { ++section_depth_; }
+
+void UsageChecker::onSectionEnd(std::string_view api) {
+  if (section_depth_ == 0) {
+    emit(Severity::Error, DiagCode::SectionMismatch,
+         std::string(api) + " without a matching section begin");
+  } else {
+    --section_depth_;
+  }
+}
+
+void UsageChecker::onFinalize(std::string_view api) {
+  if (finalized_) return;
+  finalized_ = true;
+  for (const LiveReq& r : live_) {
+    emit(Severity::Warning, DiagCode::RequestLeak,
+         r.api + " request #" + std::to_string(r.uid) +
+             " never waited/tested before " + std::string(api));
+  }
+  if (section_depth_ > 0) {
+    emit(Severity::Warning, DiagCode::SectionMismatch,
+         std::to_string(section_depth_) + " section(s) still open at " +
+             std::string(api));
+  }
+}
+
+}  // namespace ovp::analysis

@@ -1,0 +1,93 @@
+// UsageChecker: library-API misuse detector for the simulated MPI/ARMCI
+// layers.
+//
+// The StreamVerifier audits what the library *logged*; this checker audits
+// what the application *did* with the library, catching the classic
+// nonblocking-API bugs that corrupt either correctness or the overlap
+// attribution:
+//
+//   * request leaks — a nonblocking operation whose request is never
+//     waited/tested before finalize (its XFER_END may never be observed,
+//     silently inflating the inconclusive case-3 count);
+//   * double-wait — waiting on a handle that was already completed and
+//     consumed;
+//   * buffer hazards while a nonblocking transfer is in flight: a receive
+//     posted into memory an in-flight send still reads (or vice versa), and
+//     two posted receives targeting overlapping bytes.  Concurrent sends
+//     from overlapping buffers are read-read and deliberately NOT flagged
+//     (collectives fan the same send buffer out to many peers);
+//   * mismatched section begin/end at the application level.
+//
+// The checker is passive: the library calls the notification methods below
+// (all O(live requests) or O(1)) and reads diagnostics at finalize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "util/types.hpp"
+
+namespace ovp::analysis {
+
+struct UsageCheckerConfig {
+  std::size_t max_diagnostics = 256;
+};
+
+class UsageChecker {
+ public:
+  explicit UsageChecker(Rank rank, UsageCheckerConfig cfg = {});
+
+  // ---- nonblocking-request lifecycle (MPI isend/irecv, ARMCI nb ops) ----
+
+  /// A nonblocking operation was posted.  `uid` is the library's unique
+  /// request id; `buf`/`n` the user buffer (n <= 0 skips hazard checks).
+  void onRequestPosted(std::uint64_t uid, bool is_send, const void* buf,
+                       Bytes n, std::string_view api);
+  /// The request was successfully waited/tested and consumed.
+  void onRequestConsumed(std::uint64_t uid);
+  /// Every outstanding request was synchronized at once (ARMCI_WaitAll /
+  /// ARMCI_AllFence style).
+  void onAllRequestsConsumed() { live_.clear(); }
+  /// wait() was called on an inactive (already-consumed) handle.
+  void onWaitInactive(std::string_view api);
+
+  // ---- application-level section markers ----
+  void onSectionBegin();
+  void onSectionEnd(std::string_view api);
+
+  /// Finalize-time audit: reports every request still outstanding and any
+  /// section left open.  Idempotent.
+  void onFinalize(std::string_view api);
+
+  /// Free-form finding from the library itself.
+  void emit(Severity sev, DiagCode code, std::string detail);
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] bool clean() const { return diags_.empty(); }
+  [[nodiscard]] std::int64_t liveRequests() const {
+    return static_cast<std::int64_t>(live_.size());
+  }
+
+ private:
+  struct LiveReq {
+    std::uint64_t uid = 0;
+    bool is_send = false;
+    const std::byte* lo = nullptr;
+    const std::byte* hi = nullptr;  // one past the end; lo==hi when unchecked
+    std::string api;
+  };
+
+  UsageCheckerConfig cfg_;
+  Rank rank_;
+  std::vector<LiveReq> live_;
+  std::vector<Diagnostic> diags_;
+  int section_depth_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ovp::analysis

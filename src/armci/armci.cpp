@@ -1,8 +1,11 @@
 #include "armci/armci.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <memory>
 #include <stdexcept>
 
+#include "analysis/stream_verifier.hpp"
 #include "mpi/config.hpp"  // analyticTable
 
 namespace ovp::armci {
@@ -82,6 +85,12 @@ NbHandle Armci::postContig(bool is_put, const void* src, void* dst, Bytes n,
   const net::FabricParams& p = fabric_.params();
   const std::int64_t op = next_op_++;
   pending_[op] = PendingOp{1, n};
+  if (checker_ != nullptr) {
+    // The local side is read by a put and written by a get.
+    checker_->onRequestPosted(static_cast<std::uint64_t>(op), is_put,
+                              is_put ? src : dst, n,
+                              is_put ? "ARMCI_NbPut" : "ARMCI_NbGet");
+  }
   ctx_.advance(p.post_overhead);
   stampBeginForOp(op, n);
   net::WorkId wid;
@@ -102,6 +111,13 @@ NbHandle Armci::postStrided(bool is_put, const void* src, Bytes src_stride,
   const net::FabricParams& p = fabric_.params();
   const std::int64_t op = next_op_++;
   pending_[op] = PendingOp{count, row_bytes * count};
+  if (checker_ != nullptr) {
+    // Strided regions are non-contiguous; track the request for leak
+    // detection but skip the byte-range hazard check (n = 0).
+    checker_->onRequestPosted(static_cast<std::uint64_t>(op), is_put, nullptr,
+                              0,
+                              is_put ? "ARMCI_NbPutS" : "ARMCI_NbGetS");
+  }
   // One data transfer op for the whole strided region: the NIC moves it as
   // `count` scatter/gather rows.
   stampBeginForOp(op, row_bytes * count);
@@ -130,6 +146,9 @@ void Armci::put(const void* local_src, void* remote_dst, Bytes n,
   progress();
   NbHandle h = postContig(/*is_put=*/true, local_src, remote_dst, n, target);
   progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  if (checker_ != nullptr) {
+    checker_->onRequestConsumed(static_cast<std::uint64_t>(h.id));
+  }
   // Blocking put semantics: ensure remote delivery, not just local CQE.
   ctx_.advance(fabric_.params().wire_latency);
 }
@@ -140,6 +159,9 @@ void Armci::get(const void* remote_src, void* local_dst, Bytes n,
   progress();
   NbHandle h = postContig(/*is_put=*/false, remote_src, local_dst, n, target);
   progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  if (checker_ != nullptr) {
+    checker_->onRequestConsumed(static_cast<std::uint64_t>(h.id));
+  }
 }
 
 NbHandle Armci::nbPut(const void* local_src, void* remote_dst, Bytes n,
@@ -183,6 +205,11 @@ NbHandle Armci::nbAcc(const double* local_src, double* remote_dst, int count,
   const Bytes bytes = static_cast<Bytes>(count) *
                       static_cast<Bytes>(sizeof(double));
   pending_[op] = PendingOp{1, bytes};
+  if (checker_ != nullptr) {
+    checker_->onRequestPosted(static_cast<std::uint64_t>(op),
+                              /*is_send=*/true, local_src, bytes,
+                              "ARMCI_NbAccD");
+  }
   ctx_.advance(p.post_overhead);
   stampBeginForOp(op, bytes);
   const net::WorkId wid = nic_.postRdmaApply(
@@ -232,20 +259,28 @@ std::vector<void*> Armci::collectiveMalloc(Bytes bytes) {
 }
 
 void Armci::wait(NbHandle& h) {
-  if (!h.valid()) return;
+  if (!h.valid()) {
+    if (checker_ != nullptr) checker_->onWaitInactive("ARMCI_Wait");
+    return;
+  }
   CallGuard guard(*this);
   progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  if (checker_ != nullptr) {
+    checker_->onRequestConsumed(static_cast<std::uint64_t>(h.id));
+  }
   h.id = -1;
 }
 
 void Armci::waitAll() {
   CallGuard guard(*this);
   progressUntil([&] { return pending_.empty(); });
+  if (checker_ != nullptr) checker_->onAllRequestsConsumed();
 }
 
 void Armci::fence(Rank /*target*/) {
   CallGuard guard(*this);
   progressUntil([&] { return pending_.empty(); });
+  if (checker_ != nullptr) checker_->onAllRequestsConsumed();
   // Local completion means the data left this NIC; remote placement lags by
   // the wire latency.
   ctx_.advance(fabric_.params().wire_latency);
@@ -291,15 +326,18 @@ double Armci::allreduceSum(double value) {
 }
 
 void Armci::sectionBegin(std::string_view name) {
+  if (checker_ != nullptr) checker_->onSectionBegin();
   if (monitor_) ctx_.advance(monitor_->sectionBegin(ctx_.now(), name));
 }
 
 void Armci::sectionEnd() {
+  if (checker_ != nullptr) checker_->onSectionEnd("ARMCI section end");
   if (monitor_) ctx_.advance(monitor_->sectionEnd(ctx_.now()));
 }
 
 const overlap::Report& Armci::finalizeReport() {
   assert(monitor_ && "finalizeReport requires an instrumented run");
+  if (checker_ != nullptr) checker_->onFinalize("ARMCI_Finalize");
   return monitor_->report(ctx_.now());
 }
 
@@ -311,13 +349,37 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
   reports_.assign(
       cfg_.armci.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,
       overlap::Report{});
+  diagnostics_.clear();
   engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
     Armci armci(ctx, fabric, cfg_.armci, barrier);
+    std::unique_ptr<analysis::StreamVerifier> verifier;
+    std::unique_ptr<analysis::UsageChecker> checker;
+    if (cfg_.armci.verify) {
+      if (armci.monitor() != nullptr) {
+        verifier = std::make_unique<analysis::StreamVerifier>(ctx.rank());
+        verifier->attach(*armci.monitor());
+      }
+      checker = std::make_unique<analysis::UsageChecker>(ctx.rank());
+      armci.setUsageChecker(checker.get());
+    }
     rankMain(armci);
     if (armci.instrumented()) {
       reports_[static_cast<std::size_t>(ctx.rank())] = armci.finalizeReport();
     }
+    if (checker) checker->onFinalize("ARMCI_Finalize");
+    if (verifier) {
+      verifier->finish(armci.monitor() != nullptr
+                           ? armci.monitor()->eventsLogged()
+                           : -1);
+      for (const auto& d : verifier->diagnostics()) diagnostics_.push_back(d);
+    }
+    if (checker) {
+      for (const auto& d : checker->diagnostics()) diagnostics_.push_back(d);
+    }
   });
+  for (const analysis::Diagnostic& d : diagnostics_) {
+    std::fprintf(stderr, "ovprof-verify: %s\n", d.toString().c_str());
+  }
 }
 
 }  // namespace ovp::armci

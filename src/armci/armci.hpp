@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
+#include "analysis/usage_checker.hpp"
 #include "net/nic.hpp"
 #include "overlap/monitor.hpp"
 #include "sim/engine.hpp"
@@ -44,6 +46,8 @@ struct ArmciConfig {
   DurationNs call_overhead = 120;
   bool instrument = true;
   overlap::MonitorConfig monitor;
+  /// Attach the analysis layer per rank (see mpi::MpiConfig::verify).
+  bool verify = false;
 };
 
 /// Job-wide barrier state shared by all ranks' Armci instances (stands in
@@ -135,6 +139,12 @@ class Armci {
   [[nodiscard]] bool instrumented() const { return monitor_ != nullptr; }
   const overlap::Report& finalizeReport();
 
+  /// Attaches a library-misuse checker (not owned; may be null).
+  void setUsageChecker(analysis::UsageChecker* checker) { checker_ = checker; }
+  /// The per-process monitor (null when not instrumented); lets the
+  /// analysis layer attach a StreamVerifier as its event observer.
+  [[nodiscard]] overlap::Monitor* monitor() { return monitor_.get(); }
+
  private:
   struct CallGuard;
   friend struct CallGuard;
@@ -159,6 +169,7 @@ class Armci {
   net::Nic& nic_;
   ArmciConfig cfg_;
   std::unique_ptr<overlap::Monitor> monitor_;
+  analysis::UsageChecker* checker_ = nullptr;
 
   std::unordered_map<std::int64_t, PendingOp> pending_;
   std::unordered_map<net::WorkId, std::int64_t> work_to_op_;
@@ -183,11 +194,16 @@ class ArmciMachine {
   [[nodiscard]] const std::vector<overlap::Report>& reports() const {
     return reports_;
   }
+  /// Analysis-layer findings (empty unless cfg.armci.verify).
+  [[nodiscard]] const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
 
  private:
   ArmciJobConfig cfg_;
   sim::Engine engine_;
   std::vector<overlap::Report> reports_;
+  std::vector<analysis::Diagnostic> diagnostics_;
 };
 
 }  // namespace ovp::armci

@@ -50,11 +50,15 @@ void Mpi::barrier() {
   // Dissemination barrier: log2(P) rounds of tiny messages.
   const int P = size();
   const Rank r = rank();
-  char token = 0;
+  // Distinct send/recv tokens: MPI_Sendrecv requires disjoint buffers, and
+  // the analysis-layer UsageChecker flags aliasing ones.
+  const char send_token = 0;
+  char recv_token = 0;
   for (int k = 1; k < P; k <<= 1) {
     const Rank to = static_cast<Rank>((r + k) % P);
     const Rank from = static_cast<Rank>((r - k + P) % P);
-    sendrecv(&token, 1, to, kTagBarrier, &token, 1, from, kTagBarrier);
+    sendrecv(&send_token, 1, to, kTagBarrier, &recv_token, 1, from,
+             kTagBarrier);
   }
 }
 

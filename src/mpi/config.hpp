@@ -84,6 +84,12 @@ struct MpiConfig {
   /// run (Fig. 20 compares instrumented vs uninstrumented virtual times).
   bool instrument = true;
 
+  /// Attach the analysis layer (StreamVerifier on the monitor's event
+  /// stream + UsageChecker on the library API) to every rank.  Costs host
+  /// time only, never virtual time; diagnostics are collected by Machine.
+  /// Enable from the command line with --ovprof-verify (see util/flags).
+  bool verify = false;
+
   /// Monitor settings; `monitor.table` should be loaded from a calibration
   /// file.  If left empty, Machine fills it analytically from the fabric
   /// parameters at startup (the paper reads the perf_main table in

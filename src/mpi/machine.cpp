@@ -1,7 +1,12 @@
 #include "mpi/machine.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+
+#include "analysis/stream_verifier.hpp"
+#include "analysis/usage_checker.hpp"
 
 namespace ovp::mpi {
 
@@ -29,9 +34,20 @@ void Machine::run(const std::function<void(Mpi&)>& rankMain) {
   reports_.assign(
       cfg_.mpi.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,
       overlap::Report{});
+  diagnostics_.clear();
   std::mutex reports_mu;
   engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
     Mpi mpi(ctx, fabric, cfg_.mpi);
+    std::unique_ptr<analysis::StreamVerifier> verifier;
+    std::unique_ptr<analysis::UsageChecker> checker;
+    if (cfg_.mpi.verify) {
+      if (mpi.monitor() != nullptr) {
+        verifier = std::make_unique<analysis::StreamVerifier>(ctx.rank());
+        verifier->attach(*mpi.monitor());
+      }
+      checker = std::make_unique<analysis::UsageChecker>(ctx.rank());
+      mpi.setUsageChecker(checker.get());
+    }
     rankMain(mpi);
     if (mpi.instrumented()) {
       const overlap::Report& r = mpi.finalizeReport();
@@ -39,7 +55,31 @@ void Machine::run(const std::function<void(Mpi&)>& rankMain) {
       std::lock_guard<std::mutex> lock(reports_mu);
       reports_[static_cast<std::size_t>(ctx.rank())] = r;
     }
+    if (checker) checker->onFinalize("MPI_Finalize");
+    if (verifier) {
+      // finalizeReport drained the queue, so the verifier saw the whole
+      // stream; reconcile against the monitor's own event count.
+      verifier->finish(mpi.monitor() != nullptr ? mpi.monitor()->eventsLogged()
+                                                : -1);
+    }
+    if (verifier || checker) {
+      std::lock_guard<std::mutex> lock(reports_mu);
+      if (verifier) {
+        for (const auto& d : verifier->diagnostics()) diagnostics_.push_back(d);
+      }
+      if (checker) {
+        for (const auto& d : checker->diagnostics()) diagnostics_.push_back(d);
+      }
+    }
   });
+  if (!diagnostics_.empty()) {
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     [](const analysis::Diagnostic& a,
+                        const analysis::Diagnostic& b) { return a.rank < b.rank; });
+    for (const analysis::Diagnostic& d : diagnostics_) {
+      std::fprintf(stderr, "ovprof-verify: %s\n", d.toString().c_str());
+    }
+  }
 }
 
 }  // namespace ovp::mpi

@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "mpi/config.hpp"
 #include "mpi/mpi.hpp"
 #include "net/nic.hpp"
@@ -38,6 +39,12 @@ class Machine {
     return reports_;
   }
 
+  /// Analysis-layer findings of the last run, all ranks, in rank order
+  /// (empty unless cfg.mpi.verify).  Also printed to stderr at end of run.
+  [[nodiscard]] const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
   /// Writes each rank's report of the last run to "<prefix>.rank<N>.ovp"
   /// in the exact (reloadable) format — the per-process output files of
   /// the paper's Fig. 2.  Returns false if any file could not be written.
@@ -50,6 +57,7 @@ class Machine {
   JobConfig cfg_;
   sim::Engine engine_;
   std::vector<overlap::Report> reports_;
+  std::vector<analysis::Diagnostic> diagnostics_;
 };
 
 }  // namespace ovp::mpi

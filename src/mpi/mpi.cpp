@@ -78,6 +78,9 @@ struct RequestState {
   // instrumentation: transfer op ids owned by this request
   TransferId xfer = kInvalidTransfer;       // whole message / first fragment
   TransferId rest_xfer = kInvalidTransfer;  // pipelined rest-of-message
+
+  // usage-checker request id (0 = untracked, e.g. blocking-call internals)
+  std::uint64_t uid = 0;
 };
 
 struct Mpi::UnexpectedMsg {
@@ -526,6 +529,13 @@ void Mpi::matchReceive(const std::shared_ptr<RequestState>& req) {
   posted_recvs_.push_back(req);
 }
 
+void Mpi::retire(Request& req) {
+  if (checker_ != nullptr && req.state_ && req.state_->uid != 0) {
+    checker_->onRequestConsumed(req.state_->uid);
+  }
+  req.state_.reset();
+}
+
 // ------------------------------------------------------------ public API
 
 Request Mpi::isend(const void* buf, Bytes n, Rank dst, int tag) {
@@ -537,6 +547,11 @@ Request Mpi::isend(const void* buf, Bytes n, Rank dst, int tag) {
   state->size = n;
   state->peer = dst;
   state->tag = tag;
+  if (checker_ != nullptr) {
+    state->uid = next_req_uid_++;
+    checker_->onRequestPosted(state->uid, /*is_send=*/true, buf, n,
+                              "MPI_Isend");
+  }
   startSend(state, /*sync=*/false);
   return Request(state);
 }
@@ -550,17 +565,25 @@ Request Mpi::irecv(void* buf, Bytes n, Rank src, int tag) {
   state->size = n;
   state->peer = src;
   state->tag = tag;
+  if (checker_ != nullptr) {
+    state->uid = next_req_uid_++;
+    checker_->onRequestPosted(state->uid, /*is_send=*/false, buf, n,
+                              "MPI_Irecv");
+  }
   matchReceive(state);
   return Request(state);
 }
 
 void Mpi::wait(Request& req, Status* status) {
-  if (!req.valid()) return;
+  if (!req.valid()) {
+    if (checker_ != nullptr) checker_->onWaitInactive("MPI_Wait");
+    return;
+  }
   CallGuard guard(*this);
   auto state = req.state_;
   progressUntil([&] { return state->complete; });
   if (status != nullptr) *status = state->status;
-  req.state_.reset();
+  retire(req);
 }
 
 void Mpi::waitall(Request* reqs, int count) {
@@ -571,7 +594,7 @@ void Mpi::waitall(Request* reqs, int count) {
     }
     return true;
   });
-  for (int i = 0; i < count; ++i) reqs[i].state_.reset();
+  for (int i = 0; i < count; ++i) retire(reqs[i]);
 }
 
 bool Mpi::test(Request& req, Status* status) {
@@ -580,7 +603,7 @@ bool Mpi::test(Request& req, Status* status) {
   progress();
   if (!req.state_->complete) return false;
   if (status != nullptr) *status = req.state_->status;
-  req.state_.reset();
+  retire(req);
   return true;
 }
 
@@ -618,7 +641,7 @@ int Mpi::waitany(Request* reqs, int count, Status* status) {
     return false;
   });
   if (status != nullptr) *status = reqs[ready].state_->status;
-  reqs[ready].state_.reset();
+  retire(reqs[ready]);
   return ready;
 }
 
@@ -628,7 +651,7 @@ bool Mpi::testall(Request* reqs, int count) {
   for (int i = 0; i < count; ++i) {
     if (reqs[i].valid() && !reqs[i].state_->complete) return false;
   }
-  for (int i = 0; i < count; ++i) reqs[i].state_.reset();
+  for (int i = 0; i < count; ++i) retire(reqs[i]);
   return true;
 }
 
@@ -676,10 +699,12 @@ void Mpi::sendrecv(const void* sbuf, Bytes sn, Rank dst, int stag, void* rbuf,
 // ----------------------------------------------------- instrumentation
 
 void Mpi::sectionBegin(std::string_view name) {
+  if (checker_ != nullptr) checker_->onSectionBegin();
   if (monitor_) ctx_.advance(monitor_->sectionBegin(ctx_.now(), name));
 }
 
 void Mpi::sectionEnd() {
+  if (checker_ != nullptr) checker_->onSectionEnd("MPI section end");
   if (monitor_) ctx_.advance(monitor_->sectionEnd(ctx_.now()));
 }
 
@@ -689,6 +714,7 @@ void Mpi::setMonitorEnabled(bool on) {
 
 const overlap::Report& Mpi::finalizeReport() {
   assert(monitor_ && "finalizeReport requires an instrumented run");
+  if (checker_ != nullptr) checker_->onFinalize("MPI_Finalize");
   return monitor_->report(ctx_.now());
 }
 

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/usage_checker.hpp"
 #include "mpi/config.hpp"
 #include "mpi/hooks.hpp"
 #include "mpi/types.hpp"
@@ -107,6 +108,17 @@ class Mpi {
   /// Registers PERUSE-style external callbacks (see mpi/hooks.hpp).
   void setHooks(EventHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Attaches a library-misuse checker (not owned; may be null).  The
+  /// library notifies it of request lifecycle and section marker calls.
+  void setUsageChecker(analysis::UsageChecker* checker) { checker_ = checker; }
+
+  /// The per-process monitor (null when not instrumented).  Exposed so the
+  /// analysis layer can attach a StreamVerifier as its event observer.
+  [[nodiscard]] overlap::Monitor* monitor() { return monitor_.get(); }
+  [[nodiscard]] const overlap::Monitor* monitor() const {
+    return monitor_.get();
+  }
+
   /// Typed convenience wrappers.
   template <typename T>
   void sendT(const T* buf, int count, Rank dst, int tag) {
@@ -174,6 +186,9 @@ class Mpi {
   void sendFragments(const std::shared_ptr<RequestState>& send_req,
                      const wire::Header& ack);
 
+  /// Consumes a completed request handle, telling the usage checker.
+  void retire(Request& req);
+
   // instrumentation helpers (no-ops when not instrumented)
   void stampXferBegin(TransferId& id_out, Bytes size);
   void stampXferEnd(TransferId id);
@@ -185,6 +200,7 @@ class Mpi {
   MpiConfig cfg_;
   std::unique_ptr<overlap::Monitor> monitor_;
   EventHooks hooks_;
+  analysis::UsageChecker* checker_ = nullptr;
   int hook_call_depth_ = 0;
 
   // Matching structures.
@@ -200,6 +216,7 @@ class Mpi {
       recvs_awaiting_fin_;  // keyed by our local recv id
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_recv_id_ = 1;
+  std::uint64_t next_req_uid_ = 1;  // usage-checker request ids
 };
 
 /// RAII section helper: `MpiSection s(mpi, "x_solve");`

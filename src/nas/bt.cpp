@@ -534,6 +534,7 @@ NasResult runBt(const NasParams& params) {
   out.verified = verified;
   out.time = machine.finishTime();
   out.reports = machine.reports();
+  out.diagnostics = machine.diagnostics();
   return out;
 }
 

@@ -229,6 +229,7 @@ NasResult runCg(const NasParams& params) {
   res.verified = verified;
   res.time = machine.finishTime();
   res.reports = machine.reports();
+  res.diagnostics = machine.diagnostics();
   return res;
 }
 

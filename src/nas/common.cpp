@@ -38,6 +38,7 @@ mpi::JobConfig makeJobConfig(const NasParams& p) {
   cfg.fabric = p.fabric;
   cfg.mpi.preset = p.preset;
   cfg.mpi.instrument = p.instrument;
+  cfg.mpi.verify = p.verify;
   // Per-size-class breakdown like the paper's reports.
   cfg.mpi.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
   return cfg;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "mpi/machine.hpp"
 #include "overlap/report.hpp"
 #include "util/types.hpp"
@@ -50,6 +51,9 @@ struct NasParams {
   Class cls = Class::S;
   mpi::Preset preset = mpi::Preset::OpenMpiPipelined;
   bool instrument = true;
+  /// Attach the analysis layer (StreamVerifier + UsageChecker) to every
+  /// rank; findings land in NasResult::diagnostics.
+  bool verify = false;
   CostModel cost;
   net::FabricParams fabric;
   /// Overrides the number of time steps / outer iterations (0 = class
@@ -72,6 +76,8 @@ struct NasResult {
   double checksum = 0.0;          // kernel-specific scalar (zeta, residual...)
   TimeNs time = 0;                // virtual job time
   std::vector<overlap::Report> reports;  // per rank (instrumented runs)
+  /// Analysis-layer findings, all ranks (empty unless NasParams::verify).
+  std::vector<analysis::Diagnostic> diagnostics;
 
   /// Whole-run overlap percentages aggregated over every process (our
   /// decomposition makes rank 0 a corner rank, so unlike the paper's

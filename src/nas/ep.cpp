@@ -131,6 +131,7 @@ NasResult runEp(const NasParams& params) {
   out.verified = verified;
   out.time = machine.finishTime();
   out.reports = machine.reports();
+  out.diagnostics = machine.diagnostics();
   return out;
 }
 

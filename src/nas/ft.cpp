@@ -277,6 +277,7 @@ NasResult runFt(const NasParams& params) {
   res.verified = verified;
   res.time = machine.finishTime();
   res.reports = machine.reports();
+  res.diagnostics = machine.diagnostics();
   return res;
 }
 

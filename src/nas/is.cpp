@@ -178,6 +178,7 @@ NasResult runIs(const NasParams& params) {
   out.verified = verified;
   out.time = machine.finishTime();
   out.reports = machine.reports();
+  out.diagnostics = machine.diagnostics();
   return out;
 }
 

@@ -290,6 +290,7 @@ NasResult runLu(const NasParams& params) {
   out.verified = verified;
   out.time = machine.finishTime();
   out.reports = machine.reports();
+  out.diagnostics = machine.diagnostics();
   return out;
 }
 

@@ -586,11 +586,13 @@ NasResult runMg(const MgParams& params) {
     });
     out.time = machine.finishTime();
     out.reports = machine.reports();
+    out.diagnostics = machine.diagnostics();
   } else {
     armci::ArmciJobConfig cfg;
     cfg.nranks = params.nranks;
     cfg.fabric = params.fabric;
     cfg.armci.instrument = params.instrument;
+    cfg.armci.verify = params.verify;
     cfg.armci.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
     armci::ArmciMachine machine(cfg);
     const bool nonblocking = params.variant == MgVariant::ArmciNonBlocking;
@@ -675,6 +677,7 @@ NasResult runMg(const MgParams& params) {
     });
     out.time = machine.finishTime();
     out.reports = machine.reports();
+    out.diagnostics = machine.diagnostics();
   }
 
   out.checksum = res_out;

@@ -660,6 +660,7 @@ NasResult runSp(const SpParams& params) {
   out.verified = verified;
   out.time = machine.finishTime();
   out.reports = machine.reports();
+  out.diagnostics = machine.diagnostics();
   return out;
 }
 

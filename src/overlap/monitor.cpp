@@ -20,6 +20,7 @@ DurationNs Monitor::log(Event e) {
 DurationNs Monitor::drain() {
   const auto n = queue_.size();
   for (std::size_t i = 0; i < n; ++i) {
+    if (observer_) observer_(queue_.at(i));
     processor_.consume(queue_.at(i));
   }
   queue_.clear();

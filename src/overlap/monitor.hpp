@@ -20,6 +20,7 @@
 // count (paper Sec. 2.4).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -103,6 +104,14 @@ class Monitor {
   [[nodiscard]] std::int64_t queueDrains() const { return drains_; }
   [[nodiscard]] const MonitorConfig& config() const { return cfg_; }
 
+  /// Installs a tap that sees every event, in order, as the queue drains
+  /// through the Processor (i.e. at data-processing time, paper Fig. 2).
+  /// Used by analysis::StreamVerifier; runs in zero virtual time.  Install
+  /// before the first drain to observe the complete stream.
+  void setEventObserver(std::function<void(const Event&)> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   /// Appends an event, draining first if the queue is full; returns cost.
   DurationNs log(Event e);
@@ -112,6 +121,7 @@ class Monitor {
   Rank rank_;
   util::RingBuffer<Event> queue_;
   Processor processor_;
+  std::function<void(const Event&)> observer_;
   bool enabled_ = true;
   bool finalized_ = false;
   int call_depth_ = 0;

@@ -1,6 +1,7 @@
 #include "util/flags.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/strings.hpp"
 
@@ -52,6 +53,12 @@ bool Flags::getBool(std::string_view name, bool fallback) const {
 
 bool Flags::has(std::string_view name) const {
   return values_.find(name) != values_.end();
+}
+
+bool verifyRequested(const Flags& flags) {
+  if (flags.has("ovprof-verify")) return flags.getBool("ovprof-verify", false);
+  const char* env = std::getenv("OVPROF_VERIFY");
+  return env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
 }
 
 }  // namespace ovp::util

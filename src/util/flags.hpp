@@ -28,4 +28,10 @@ class Flags {
   std::map<std::string, std::string, std::less<>> values_;
 };
 
+/// Standard switch for the analysis layer: true when --ovprof-verify[=1]
+/// was passed, or the OVPROF_VERIFY environment variable is set non-empty
+/// (and not "0").  Lets any example/bench binary enable the StreamVerifier
+/// and UsageChecker without recompiling.
+[[nodiscard]] bool verifyRequested(const Flags& flags);
+
 }  // namespace ovp::util

@@ -1,0 +1,553 @@
+// Tests for the analysis layer: the StreamVerifier (event-stream invariant
+// checker) and the UsageChecker (library-API misuse detector).
+//
+// The malformed-stream tests feed deliberately corrupted event sequences and
+// assert that each corruption produces EXACTLY one diagnostic with the right
+// code — a verifier that double-reports is as useless as one that misses.
+// The integration tests prove the verifier runs clean on real workloads
+// (Monitor tap, mpi::Machine, ARMCI, NAS kernels) and that the checker
+// catches real misuse driven through the public library API.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/stream_verifier.hpp"
+#include "analysis/usage_checker.hpp"
+#include "armci/armci.hpp"
+#include "mpi/machine.hpp"
+#include "nas/cg.hpp"
+#include "nas/mg.hpp"
+#include "overlap/monitor.hpp"
+
+namespace ovp::analysis {
+namespace {
+
+using overlap::Event;
+using overlap::EventType;
+
+Event ev(EventType type, TimeNs t, std::int64_t id = 0, Bytes size = 0) {
+  Event e;
+  e.type = type;
+  e.time = t;
+  e.id = id;
+  e.size = size;
+  return e;
+}
+
+int countCode(const std::vector<Diagnostic>& diags, DiagCode code) {
+  int n = 0;
+  for (const Diagnostic& d : diags) n += d.code == code;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// StreamVerifier: well-formed streams
+// ---------------------------------------------------------------------------
+
+TEST(StreamVerifier, CleanStreamProducesNoDiagnostics) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 10));
+  v.consume(ev(EventType::XferBegin, 11, 1, 4096));
+  v.consume(ev(EventType::XferEnd, 20, 1, 4096));
+  v.consume(ev(EventType::CallExit, 21));
+  v.finish(4);
+  EXPECT_TRUE(v.clean());
+  EXPECT_TRUE(v.diagnostics().empty());
+  EXPECT_EQ(v.eventsSeen(), 4);
+  EXPECT_EQ(v.errorCount(), 0);
+}
+
+TEST(StreamVerifier, EqualTimestampsAreNotARegression) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 10));
+  v.consume(ev(EventType::CallExit, 10));  // zero-cost call: same stamp
+  v.finish(2);
+  EXPECT_TRUE(v.clean());
+}
+
+TEST(StreamVerifier, Case3UnmatchedEndIsLegitimate) {
+  // XFER_END with an invalid id but a real size: the paper's case 3 (e.g.
+  // an eagerly received message whose initiation this rank never saw).
+  StreamVerifier v(0);
+  v.consume(ev(EventType::XferEnd, 10, kInvalidTransfer, 2048));
+  v.finish(1);
+  EXPECT_TRUE(v.clean());
+  EXPECT_TRUE(v.diagnostics().empty());
+  EXPECT_EQ(v.case3Ends(), 1);
+}
+
+TEST(StreamVerifier, Case3CanBeDisallowedByConfig) {
+  StreamVerifierConfig cfg;
+  cfg.allow_unmatched_end = false;  // one-sided libraries see both endpoints
+  StreamVerifier v(0, cfg);
+  v.consume(ev(EventType::XferEnd, 10, kInvalidTransfer, 2048));
+  v.finish(1);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::XferEndMalformed);
+}
+
+TEST(StreamVerifier, CallExitAfterEnableIsTolerated) {
+  // The application may enter a library call while monitoring is disabled;
+  // the first CALL_EXIT after re-enabling then has no logged CALL_ENTER.
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 5));
+  v.consume(ev(EventType::Disable, 6));
+  v.consume(ev(EventType::Enable, 20));
+  v.consume(ev(EventType::CallExit, 21));  // matches the pre-DISABLE enter
+  v.consume(ev(EventType::CallExit, 30));  // resync: depth unknown, tolerated
+  v.consume(ev(EventType::CallEnter, 40));
+  v.consume(ev(EventType::CallExit, 41));
+  v.finish(7);
+  EXPECT_TRUE(v.clean()) << v.diagnostics()[0].toString();
+}
+
+// ---------------------------------------------------------------------------
+// StreamVerifier: corrupted streams — exactly one diagnostic each
+// ---------------------------------------------------------------------------
+
+TEST(StreamVerifier, OrphanedXferEndUnknownId) {
+  StreamVerifier v(2);
+  v.consume(ev(EventType::XferBegin, 10, 1, 64));
+  v.consume(ev(EventType::XferEnd, 20, 9, 0));  // id 9 was never begun
+  v.consume(ev(EventType::XferEnd, 25, 1, 64));
+  v.finish(3);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  const Diagnostic& d = v.diagnostics()[0];
+  EXPECT_EQ(d.code, DiagCode::XferEndUnknownId);
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(d.rank, 2);
+  EXPECT_EQ(d.event_index, 1);
+  EXPECT_TRUE(d.has_event);
+  EXPECT_EQ(d.event.id, 9);
+  EXPECT_NE(d.toString().find("XFER_END_UNKNOWN_ID"), std::string::npos);
+  EXPECT_NE(d.toString().find("rank 2"), std::string::npos);
+}
+
+TEST(StreamVerifier, CallExitWithoutEnter) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallExit, 5));
+  v.finish(1);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::CallExitWithoutEnter);
+  EXPECT_EQ(v.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(StreamVerifier, EnableWithoutDisable) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::Enable, 5));
+  v.finish(1);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::EnableWithoutDisable);
+}
+
+TEST(StreamVerifier, NonMonotoneTimestamps) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 100));
+  v.consume(ev(EventType::CallExit, 50));  // travels back in time
+  v.finish(2);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::TimeRegression);
+  EXPECT_EQ(v.diagnostics()[0].event_index, 1);
+}
+
+TEST(StreamVerifier, NestedCallEnter) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 10));
+  v.consume(ev(EventType::CallEnter, 11));  // monitor must collapse these
+  v.consume(ev(EventType::CallExit, 12));
+  v.finish(3);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::CallEnterNested);
+}
+
+TEST(StreamVerifier, DuplicateXferBegin) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::XferBegin, 10, 7, 64));
+  v.consume(ev(EventType::XferBegin, 11, 7, 64));  // id 7 still active
+  v.consume(ev(EventType::XferEnd, 20, 7, 64));
+  v.finish(3);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::XferBeginDuplicate);
+}
+
+TEST(StreamVerifier, XferBeginWithoutSize) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::XferBegin, 10, 1, 0));
+  v.finish(1);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::XferBeginMalformed);
+}
+
+TEST(StreamVerifier, SectionEndWithoutBegin) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::SectionEnd, 10, 3));
+  v.finish(1);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::SectionEndWithoutBegin);
+}
+
+TEST(StreamVerifier, DisableWhileDisabled) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::Disable, 10));
+  v.consume(ev(EventType::Disable, 11));
+  v.consume(ev(EventType::Enable, 12));
+  v.finish(3);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::DisableWhileDisabled);
+}
+
+TEST(StreamVerifier, EventInsideExclusionWindow) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::Disable, 10));
+  v.consume(ev(EventType::XferBegin, 11, 1, 64));  // must not be stamped
+  v.consume(ev(EventType::XferEnd, 12, 1, 64));    // ditto
+  v.consume(ev(EventType::Enable, 13));
+  v.finish(4);
+  EXPECT_EQ(countCode(v.diagnostics(), DiagCode::EventWhileDisabled), 2);
+  EXPECT_FALSE(v.clean());
+}
+
+TEST(StreamVerifier, EventCountMismatch) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 10));
+  v.consume(ev(EventType::CallExit, 11));
+  v.finish(5);  // monitor claims 5 logged, only 2 drained: events were lost
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].code, DiagCode::EventCountMismatch);
+  EXPECT_EQ(v.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(StreamVerifier, OpenStatesAtEndOfStream) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::CallEnter, 10));
+  v.consume(ev(EventType::SectionBegin, 11, 1));
+  v.consume(ev(EventType::XferBegin, 12, 1, 64));
+  v.finish(3);
+  // Open call and section are warnings; an open transfer is only a note
+  // (the processor closes it as inconclusive case 3 at finalize).
+  EXPECT_EQ(countCode(v.diagnostics(), DiagCode::CallOpenAtEnd), 1);
+  EXPECT_EQ(countCode(v.diagnostics(), DiagCode::SectionOpenAtEnd), 1);
+  EXPECT_EQ(countCode(v.diagnostics(), DiagCode::XferOpenAtEnd), 1);
+  EXPECT_FALSE(v.clean());
+  EXPECT_EQ(v.errorCount(), 0);
+}
+
+TEST(StreamVerifier, OnlyOpenTransfersIsStillClean) {
+  StreamVerifier v(0);
+  v.consume(ev(EventType::XferBegin, 12, 1, 64));
+  v.finish(1);
+  ASSERT_EQ(v.diagnostics().size(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].severity, Severity::Note);
+  EXPECT_TRUE(v.clean());  // notes don't make a stream dirty
+}
+
+TEST(StreamVerifier, DiagnosticsAreCapped) {
+  StreamVerifierConfig cfg;
+  cfg.max_diagnostics = 4;
+  StreamVerifier v(0, cfg);
+  for (int i = 0; i < 100; ++i) {
+    v.consume(ev(EventType::XferEnd, 10 + i, 1000 + i, 0));  // all unknown
+  }
+  EXPECT_EQ(v.diagnostics().size(), 4u);
+  EXPECT_EQ(v.eventsSeen(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// StreamVerifier attached to a real Monitor (queue-drain loss accounting)
+// ---------------------------------------------------------------------------
+
+TEST(StreamVerifier, MonitorTapSeesEveryDrainedEvent) {
+  overlap::MonitorConfig cfg;
+  cfg.queue_capacity = 8;  // tiny: force many drains mid-run
+  overlap::Monitor m(cfg, /*rank=*/0);
+  StreamVerifier v(0);
+  v.attach(m);
+
+  TimeNs t = 0;
+  for (int i = 0; i < 50; ++i) {
+    (void)m.callEnter(++t);
+    const auto [id, cost] = m.xferBegin(++t, 1024);
+    (void)cost;
+    (void)m.xferEnd(++t, id);
+    (void)m.callExit(++t);
+  }
+  (void)m.report(++t);
+  v.finish(m.eventsLogged());
+
+  EXPECT_GT(m.queueDrains(), 1);
+  EXPECT_EQ(v.eventsSeen(), m.eventsLogged());
+  EXPECT_TRUE(v.clean()) << v.diagnostics()[0].toString();
+}
+
+// ---------------------------------------------------------------------------
+// UsageChecker units
+// ---------------------------------------------------------------------------
+
+TEST(UsageChecker, SendSendOverlapIsAllowed) {
+  // Collectives post the same send buffer to many peers: read-read.
+  UsageChecker c(0);
+  char buf[64];
+  c.onRequestPosted(1, /*is_send=*/true, buf, 64, "MPI_Isend");
+  c.onRequestPosted(2, /*is_send=*/true, buf, 64, "MPI_Isend");
+  EXPECT_TRUE(c.clean());
+  EXPECT_EQ(c.liveRequests(), 2);
+}
+
+TEST(UsageChecker, RecvIntoInFlightSendBuffer) {
+  UsageChecker c(0);
+  char buf[64];
+  c.onRequestPosted(1, /*is_send=*/true, buf, 64, "MPI_Isend");
+  c.onRequestPosted(2, /*is_send=*/false, buf + 32, 32, "MPI_Irecv");
+  ASSERT_EQ(c.diagnostics().size(), 1u);
+  EXPECT_EQ(c.diagnostics()[0].code, DiagCode::SendBufferReuse);
+  EXPECT_EQ(c.diagnostics()[0].severity, Severity::Error);
+}
+
+TEST(UsageChecker, OverlappingReceives) {
+  UsageChecker c(0);
+  char buf[64];
+  c.onRequestPosted(1, /*is_send=*/false, buf, 64, "MPI_Irecv");
+  c.onRequestPosted(2, /*is_send=*/false, buf + 8, 8, "MPI_Irecv");
+  ASSERT_EQ(c.diagnostics().size(), 1u);
+  EXPECT_EQ(c.diagnostics()[0].code, DiagCode::RecvBufferOverlap);
+}
+
+TEST(UsageChecker, DisjointBuffersAreClean) {
+  UsageChecker c(0);
+  char a[64];
+  char b[64];
+  c.onRequestPosted(1, true, a, 64, "MPI_Isend");
+  c.onRequestPosted(2, false, b, 64, "MPI_Irecv");
+  c.onRequestConsumed(1);
+  c.onRequestConsumed(2);
+  EXPECT_TRUE(c.clean());
+  EXPECT_EQ(c.liveRequests(), 0);
+}
+
+TEST(UsageChecker, ConsumedRequestNoLongerHazards) {
+  UsageChecker c(0);
+  char buf[64];
+  c.onRequestPosted(1, true, buf, 64, "MPI_Isend");
+  c.onRequestConsumed(1);
+  c.onRequestPosted(2, false, buf, 64, "MPI_Irecv");  // send already done
+  EXPECT_TRUE(c.clean());
+}
+
+TEST(UsageChecker, FinalizeReportsLeaksOnce) {
+  UsageChecker c(3);
+  char buf[8];
+  c.onRequestPosted(1, false, buf, 8, "MPI_Irecv");
+  c.onFinalize("MPI_Finalize");
+  c.onFinalize("MPI_Finalize");  // idempotent
+  ASSERT_EQ(c.diagnostics().size(), 1u);
+  EXPECT_EQ(c.diagnostics()[0].code, DiagCode::RequestLeak);
+  EXPECT_EQ(c.diagnostics()[0].severity, Severity::Warning);
+  EXPECT_EQ(c.diagnostics()[0].rank, 3);
+}
+
+TEST(UsageChecker, SectionMismatches) {
+  UsageChecker c(0);
+  c.onSectionEnd("MPI_SectionEnd");  // nothing open
+  ASSERT_EQ(c.diagnostics().size(), 1u);
+  EXPECT_EQ(c.diagnostics()[0].code, DiagCode::SectionMismatch);
+
+  UsageChecker c2(0);
+  c2.onSectionBegin();
+  c2.onFinalize("MPI_Finalize");  // still open
+  ASSERT_EQ(c2.diagnostics().size(), 1u);
+  EXPECT_EQ(c2.diagnostics()[0].code, DiagCode::SectionMismatch);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the simulated MPI library
+// ---------------------------------------------------------------------------
+
+mpi::JobConfig verifyingJob(int nranks) {
+  mpi::JobConfig job;
+  job.nranks = nranks;
+  job.mpi.verify = true;
+  return job;
+}
+
+TEST(AnalysisMpi, CleanWorkloadProducesNoFindings) {
+  mpi::Machine machine(verifyingJob(2));
+  std::vector<std::uint8_t> sbuf(1 << 16, 1), rbuf(1 << 16, 0);
+  machine.run([&](mpi::Mpi& mpi) {
+    mpi.sectionBegin("main");
+    for (int i = 0; i < 3; ++i) {
+      if (mpi.rank() == 0) {
+        mpi::Request req = mpi.isend(sbuf.data(), 1 << 16, 1, 0);
+        mpi.compute(usec(200));
+        mpi.wait(req);
+      } else {
+        mpi.recv(rbuf.data(), 1 << 16, 0, 0);
+      }
+      mpi.barrier();
+    }
+    mpi.setMonitorEnabled(false);
+    mpi.compute(usec(50));
+    mpi.setMonitorEnabled(true);
+    mpi.sectionEnd();
+    double x = 1.0;
+    double y = 0.0;
+    mpi.allreduce(&x, &y, 1, mpi::Op::Sum);
+  });
+  // Notes (e.g. a transfer whose END arrived after the last library call)
+  // are expected end states; nothing may rise above Note level.
+  EXPECT_TRUE(clean(machine.diagnostics()))
+      << machine.diagnostics()[0].toString();
+}
+
+TEST(AnalysisMpi, DoubleWaitIsReported) {
+  mpi::Machine machine(verifyingJob(2));
+  std::vector<std::uint8_t> sbuf(4096, 1), rbuf(4096, 0);
+  machine.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi::Request req = mpi.isend(sbuf.data(), 4096, 1, 0);
+      mpi.wait(req);
+      mpi.wait(req);  // bug: handle already consumed
+    } else {
+      mpi.recv(rbuf.data(), 4096, 0, 0);
+    }
+  });
+  EXPECT_EQ(countCode(machine.diagnostics(), DiagCode::DoubleWait), 1);
+}
+
+TEST(AnalysisMpi, RequestLeakIsReported) {
+  mpi::Machine machine(verifyingJob(2));
+  std::vector<std::uint8_t> rbuf(4096, 0);
+  machine.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      // Bug: posted receive is never waited, tested, or cancelled.
+      (void)mpi.irecv(rbuf.data(), 4096, 1, 99);
+    }
+    mpi.barrier();
+  });
+  EXPECT_EQ(countCode(machine.diagnostics(), DiagCode::RequestLeak), 1);
+  // A leak is application misuse, not stream corruption.
+  for (const Diagnostic& d : machine.diagnostics()) {
+    EXPECT_NE(d.severity, Severity::Error) << d.toString();
+  }
+}
+
+TEST(AnalysisMpi, ReceiveIntoInFlightSendBuffer) {
+  mpi::Machine machine(verifyingJob(2));
+  std::vector<std::uint8_t> buf(1 << 16, 1), peer(1 << 16, 0);
+  machine.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      // Bug: reusing the send buffer as a receive target while the
+      // non-blocking send may still be reading it.
+      mpi::Request s = mpi.isend(buf.data(), 1 << 16, 1, 0);
+      mpi::Request r = mpi.irecv(buf.data(), 1 << 16, 1, 1);
+      mpi.wait(s);
+      mpi.wait(r);
+    } else {
+      mpi.recv(peer.data(), 1 << 16, 0, 0);
+      mpi.send(peer.data(), 1 << 16, 0, 1);
+    }
+  });
+  EXPECT_EQ(countCode(machine.diagnostics(), DiagCode::SendBufferReuse), 1);
+}
+
+TEST(AnalysisMpi, OverlappingPostedReceives) {
+  mpi::Machine machine(verifyingJob(2));
+  std::vector<std::uint8_t> sbuf(4096, 1), rbuf(8192, 0);
+  machine.run([&](mpi::Mpi& mpi) {
+    if (mpi.rank() == 0) {
+      mpi::Request a = mpi.irecv(rbuf.data(), 4096, 1, 0);
+      mpi::Request b = mpi.irecv(rbuf.data() + 2048, 4096, 1, 1);  // bug
+      mpi.wait(a);
+      mpi.wait(b);
+    } else {
+      mpi.send(sbuf.data(), 4096, 0, 0);
+      mpi.send(sbuf.data(), 4096, 0, 1);
+    }
+  });
+  EXPECT_EQ(countCode(machine.diagnostics(), DiagCode::RecvBufferOverlap), 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the simulated ARMCI library
+// ---------------------------------------------------------------------------
+
+armci::ArmciJobConfig verifyingArmciJob(int nranks) {
+  armci::ArmciJobConfig cfg;
+  cfg.nranks = nranks;
+  cfg.armci.verify = true;
+  return cfg;
+}
+
+TEST(AnalysisArmci, CleanWorkloadProducesNoDiagnostics) {
+  armci::ArmciMachine m(verifyingArmciJob(2));
+  std::vector<std::uint8_t> src(1 << 16, 0x5A), dst(1 << 16, 0);
+  m.run([&](armci::Armci& a) {
+    if (a.rank() == 0) {
+      armci::NbHandle h = a.nbPut(src.data(), dst.data(), 1 << 16, 1);
+      a.compute(usec(500));
+      a.wait(h);
+      a.fence(1);
+    } else {
+      a.compute(msec(2));
+    }
+    a.barrier();
+  });
+  EXPECT_TRUE(clean(m.diagnostics())) << m.diagnostics()[0].toString();
+}
+
+TEST(AnalysisArmci, FenceConsumesDiscardedHandles) {
+  // MG's ARMCI variant discards NbPut handles and relies on fence for
+  // completion — legal ARMCI, must NOT be reported as a leak.
+  armci::ArmciMachine m(verifyingArmciJob(2));
+  std::vector<std::uint8_t> src(4096, 1), dst(4096, 0);
+  m.run([&](armci::Armci& a) {
+    if (a.rank() == 0) {
+      (void)a.nbPut(src.data(), dst.data(), 4096, 1);
+      a.fence(1);
+    }
+    a.barrier();
+  });
+  EXPECT_TRUE(clean(m.diagnostics())) << m.diagnostics()[0].toString();
+}
+
+TEST(AnalysisArmci, DoubleWaitIsReported) {
+  armci::ArmciMachine m(verifyingArmciJob(2));
+  std::vector<std::uint8_t> src(4096, 1), dst(4096, 0);
+  m.run([&](armci::Armci& a) {
+    if (a.rank() == 0) {
+      armci::NbHandle h = a.nbPut(src.data(), dst.data(), 4096, 1);
+      a.wait(h);
+      a.wait(h);  // bug: handle already completed and consumed
+    }
+    a.barrier();
+  });
+  EXPECT_EQ(countCode(m.diagnostics(), DiagCode::DoubleWait), 1);
+}
+
+// ---------------------------------------------------------------------------
+// The verifier runs clean on the NAS kernels (the paper's workloads)
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisNas, CgRunsVerifyClean) {
+  nas::NasParams p;
+  p.nranks = 4;
+  p.cls = nas::Class::S;
+  p.verify = true;
+  const nas::NasResult r = nas::runCg(p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_TRUE(clean(r.diagnostics)) << r.diagnostics[0].toString();
+}
+
+TEST(AnalysisNas, ArmciMgRunsVerifyClean) {
+  nas::MgParams p;
+  p.nranks = 4;
+  p.cls = nas::Class::S;
+  p.verify = true;
+  p.variant = nas::MgVariant::ArmciNonBlocking;
+  const nas::NasResult r = nas::runMg(p);
+  EXPECT_TRUE(r.verified);
+  EXPECT_TRUE(clean(r.diagnostics)) << r.diagnostics[0].toString();
+}
+
+}  // namespace
+}  // namespace ovp::analysis

@@ -7,15 +7,23 @@
 //           [--procs=N] [--preset=pipelined|leavepinned|mvapich2|mv2write]
 //           [--modified] [--variant=mpi|armci|armci-nb]
 //           [--reports=/path/prefix] [--iterations=N] [--ovprof-verify]
+//           [--ovprof-fault=SPEC]
 //
 // --ovprof-verify (or OVPROF_VERIFY=1) attaches the analysis layer: a
 // StreamVerifier on every rank's event stream plus the library UsageChecker.
 // Findings are printed to stderr and make the run exit non-zero.
+//
+// --ovprof-fault=SPEC (or OVPROF_FAULT=SPEC) runs the kernel on a lossy
+// fabric with the NIC reliability protocol enabled, e.g.
+// --ovprof-fault=drop=0.05,jitter=2000,seed=7 (a bare number means
+// drop=<number>).  The run must still verify; fault counters are printed
+// and attached to the reports.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "nas/bt.hpp"
+#include "net/fault.hpp"
 #include "nas/cg.hpp"
 #include "nas/ep.hpp"
 #include "nas/ft.hpp"
@@ -41,6 +49,14 @@ int main(int argc, char** argv) {
   params.iterations = static_cast<int>(flags.getInt("iterations", 0));
   params.modified = flags.getBool("modified", false);
   params.verify = util::verifyRequested(flags);
+  const std::string fault_spec = util::faultSpecRequested(flags);
+  if (!fault_spec.empty()) {
+    if (!net::FaultModel::parse(fault_spec, params.fabric.fault)) {
+      std::fprintf(stderr, "bad --ovprof-fault spec: %s\n", fault_spec.c_str());
+      return 2;
+    }
+    std::printf("fault model: %s\n", params.fabric.fault.describe().c_str());
+  }
   const std::string preset = flags.getString("preset", "mvapich2");
   params.preset = preset == "pipelined" ? mpi::Preset::OpenMpiPipelined
                   : preset == "leavepinned"
@@ -93,6 +109,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(whole.transfers));
   std::printf("non-overlapped lower bound: %.3f ms\n",
               toMsec(whole.minNonOverlapped()));
+  const overlap::FaultStats faults = nas::aggregateFaults(result.reports);
+  if (faults.any()) {
+    std::printf("faults:     attempts=%lld drops=%lld retransmissions=%lld "
+                "timeouts=%lld dup_discards=%lld retry_exhausted=%lld\n",
+                static_cast<long long>(faults.attempts),
+                static_cast<long long>(faults.drops),
+                static_cast<long long>(faults.retransmissions),
+                static_cast<long long>(faults.timeouts),
+                static_cast<long long>(faults.dup_discards),
+                static_cast<long long>(faults.retry_exhausted));
+  }
 
   const std::string reports = flags.getString("reports", "");
   if (!reports.empty()) {

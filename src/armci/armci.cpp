@@ -54,6 +54,10 @@ void Armci::progress() {
   net::Completion c;
   while (nic_.pollCompletion(c)) {
     ctx_.advance(p.cq_poll_cost);
+    if (c.status != net::WorkStatus::Ok) {
+      throw std::runtime_error("armci: work request " + std::to_string(c.id) +
+                               " failed: NIC retry exhausted");
+    }
     const auto wit = work_to_op_.find(c.id);
     if (wit == work_to_op_.end()) continue;
     const std::int64_t op = wit->second;
@@ -377,6 +381,13 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
       for (const auto& d : checker->diagnostics()) diagnostics_.push_back(d);
     }
   });
+  fault_totals_ = overlap::FaultStats{};
+  if (fabric.faultEnabled()) {
+    for (overlap::Report& r : reports_) {
+      r.faults.assignFrom(fabric.nic(r.rank).faultCounters());
+    }
+    fault_totals_.assignFrom(fabric.faultTotals());
+  }
   for (const analysis::Diagnostic& d : diagnostics_) {
     std::fprintf(stderr, "ovprof-verify: %s\n", d.toString().c_str());
   }

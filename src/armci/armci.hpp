@@ -198,12 +198,18 @@ class ArmciMachine {
   [[nodiscard]] const std::vector<analysis::Diagnostic>& diagnostics() const {
     return diagnostics_;
   }
+  /// Job-wide fault/reliability counters of the last run (all zero unless
+  /// cfg.fabric.fault was enabled).
+  [[nodiscard]] const overlap::FaultStats& faultTotals() const {
+    return fault_totals_;
+  }
 
  private:
   ArmciJobConfig cfg_;
   sim::Engine engine_;
   std::vector<overlap::Report> reports_;
   std::vector<analysis::Diagnostic> diagnostics_;
+  overlap::FaultStats fault_totals_;
 };
 
 }  // namespace ovp::armci

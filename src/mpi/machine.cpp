@@ -72,6 +72,13 @@ void Machine::run(const std::function<void(Mpi&)>& rankMain) {
       }
     }
   });
+  fault_totals_ = overlap::FaultStats{};
+  if (fabric.faultEnabled()) {
+    for (overlap::Report& r : reports_) {
+      r.faults.assignFrom(fabric.nic(r.rank).faultCounters());
+    }
+    fault_totals_.assignFrom(fabric.faultTotals());
+  }
   if (!diagnostics_.empty()) {
     std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
                      [](const analysis::Diagnostic& a,

@@ -53,11 +53,18 @@ class Machine {
   [[nodiscard]] const JobConfig& config() const { return cfg_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
 
+  /// Job-wide fault/reliability counters of the last run (all zero unless
+  /// cfg.fabric.fault was enabled).  Per-rank values are on each report.
+  [[nodiscard]] const overlap::FaultStats& faultTotals() const {
+    return fault_totals_;
+  }
+
  private:
   JobConfig cfg_;
   sim::Engine engine_;
   std::vector<overlap::Report> reports_;
   std::vector<analysis::Diagnostic> diagnostics_;
+  overlap::FaultStats fault_totals_;
 };
 
 }  // namespace ovp::mpi

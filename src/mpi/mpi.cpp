@@ -157,6 +157,13 @@ void Mpi::progressUntil(const std::function<bool()>& pred) {
 }
 
 void Mpi::handleCompletion(const net::Completion& c) {
+  if (c.status != net::WorkStatus::Ok) {
+    // Reliability-protocol retry exhaustion (fault model).  A real MPI on
+    // a broken fabric aborts the job; surface it as a hard error rather
+    // than hanging in progressUntil.
+    throw std::runtime_error("mpi: work request " + std::to_string(c.id) +
+                             " failed: NIC retry exhausted");
+  }
   const auto it = on_completion_.find(c.id);
   if (it == on_completion_.end()) return;  // e.g. control-packet send CQE
   auto callback = std::move(it->second);

@@ -32,6 +32,13 @@ overlap::OverlapAccum aggregateSection(
   return acc;
 }
 
+overlap::FaultStats aggregateFaults(
+    const std::vector<overlap::Report>& reports) {
+  overlap::FaultStats total;
+  for (const auto& r : reports) total += r.faults;
+  return total;
+}
+
 mpi::JobConfig makeJobConfig(const NasParams& p) {
   mpi::JobConfig cfg;
   cfg.nranks = p.nranks;

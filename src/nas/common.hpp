@@ -70,6 +70,10 @@ struct NasParams {
 [[nodiscard]] overlap::OverlapAccum aggregateSection(
     const std::vector<overlap::Report>& reports, std::string_view name);
 
+/// Sums per-rank fault/reliability counters (all zero on a lossless run).
+[[nodiscard]] overlap::FaultStats aggregateFaults(
+    const std::vector<overlap::Report>& reports);
+
 /// Outcome of one kernel run.
 struct NasResult {
   bool verified = false;

@@ -1,0 +1,101 @@
+#include "net/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ovp::net {
+
+namespace {
+
+bool parseDouble(std::string_view text, double& out) {
+  const std::string s(text);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parseInt(std::string_view text, std::int64_t& out) {
+  const std::string s(text);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool applyKey(FaultModel& m, std::string_view key, std::string_view value) {
+  double d = 0;
+  std::int64_t i = 0;
+  if (key == "drop") return parseDouble(value, m.rates.drop);
+  if (key == "corrupt") return parseDouble(value, m.rates.corrupt);
+  if (key == "dup" || key == "duplicate") {
+    return parseDouble(value, m.rates.duplicate);
+  }
+  if (key == "reorder") return parseDouble(value, m.rates.reorder);
+  if (key == "jitter") {
+    if (!parseInt(value, i) || i < 0) return false;
+    m.rates.jitter = i;
+    return true;
+  }
+  if (key == "seed") {
+    if (!parseInt(value, i)) return false;
+    m.seed = static_cast<std::uint64_t>(i);
+    return true;
+  }
+  if (key == "retries") {
+    if (!parseInt(value, i) || i < 0) return false;
+    m.max_retries = static_cast<int>(i);
+    return true;
+  }
+  if (key == "rto") {
+    if (!parseInt(value, i) || i <= 0) return false;
+    m.rto_base = i;
+    return true;
+  }
+  (void)d;
+  return false;
+}
+
+bool rateValid(double r) { return r >= 0.0 && r <= 1.0; }
+
+}  // namespace
+
+bool FaultModel::parse(std::string_view spec, FaultModel& out) {
+  FaultModel m = out;  // keep caller defaults for unmentioned keys
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      // Bare number: shorthand for drop=<number>.
+      if (!parseDouble(item, m.rates.drop)) return false;
+      continue;
+    }
+    if (!applyKey(m, item.substr(0, eq), item.substr(eq + 1))) return false;
+  }
+  if (!rateValid(m.rates.drop) || !rateValid(m.rates.corrupt) ||
+      !rateValid(m.rates.duplicate) || !rateValid(m.rates.reorder)) {
+    return false;
+  }
+  out = m;
+  return true;
+}
+
+std::string FaultModel::describe() const {
+  std::ostringstream os;
+  os << "drop=" << rates.drop << " corrupt=" << rates.corrupt
+     << " dup=" << rates.duplicate << " reorder=" << rates.reorder
+     << " jitter=" << rates.jitter << "ns seed=" << seed
+     << " retries=" << max_retries << " rto=" << rto_base << "ns";
+  if (!links.empty()) os << " (+" << links.size() << " link overrides)";
+  return os.str();
+}
+
+}  // namespace ovp::net

@@ -24,14 +24,163 @@ Nic::WireTimes Nic::reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready) {
   return WireTimes{last_out, arrival};
 }
 
+// --------------------------------------------- reliability (fault mode)
+
+std::shared_ptr<Nic::ReliableTx> Nic::makeTx(Rank dst, Bytes wire_bytes) {
+  auto tx = std::make_shared<ReliableTx>();
+  tx->tx_seq = next_tx_seq_++;
+  tx->src = owner_;
+  tx->dst = dst;
+  tx->wire_bytes = wire_bytes;
+  tx->rto = fabric_.params().fault.rto_base;
+  return tx;
+}
+
+void Nic::attemptTransmission(const std::shared_ptr<ReliableTx>& tx) {
+  const FabricParams& p = fabric_.params();
+  const FaultModel& fm = p.fault;
+  sim::Engine& eng = fabric_.engine();
+  Nic& peer = fabric_.nic(tx->dst);
+  ++tx->attempt;
+  ++fault_counters_.attempts;
+
+  // Every attempt — including retransmissions and packets that will be
+  // lost — occupies both ports like any other packet.
+  const WireTimes t = reserveWire(peer, tx->wire_bytes, eng.now() + p.nic_setup);
+  if (!tx->staged) {
+    // Source bytes are captured once, at the first attempt's last-byte-out
+    // (the DMA engine streams out of application memory; retransmissions
+    // replay the staged copy, as the host may not reuse the buffer before
+    // its completion).
+    tx->staged = true;
+    if (tx->stage) eng.schedule(t.last_byte_out, tx->stage);
+  }
+
+  // Fault dice, rolled in a fixed order so (params, seed) replays
+  // bit-identically.
+  const FaultRates& fr = fm.ratesFor(owner_, tx->dst);
+  const bool dropped =
+      fabric_.takeDeterministicDrop() ||
+      (fr.drop > 0 && fabric_.drawUniform() < fr.drop);
+  const bool corrupted =
+      !dropped && fr.corrupt > 0 && fabric_.drawUniform() < fr.corrupt;
+  const bool duplicated =
+      fr.duplicate > 0 && fabric_.drawUniform() < fr.duplicate;
+  const bool reordered =
+      fr.reorder > 0 && fabric_.drawUniform() < fr.reorder;
+  DurationNs extra = fabric_.drawJitter(fr.jitter);
+  if (reordered) {
+    // Held back past later traffic on the link: later packets overtake.
+    extra += fabric_.reorderHold();
+    ++fault_counters_.reorders;
+  }
+
+  if (dropped) {
+    ++fault_counters_.drops;
+  } else if (corrupted) {
+    // Fully received, then CRC-discarded by the receiving NIC.
+    ++peer.fault_counters_.corrupt_drops;
+  } else {
+    const TimeNs deliver_at = t.arrival + extra;
+    eng.schedule(deliver_at, [&peer, tx] { peer.receiveReliable(tx); });
+    if (duplicated) {
+      ++fault_counters_.duplicates;
+      eng.schedule(deliver_at + p.serialize(tx->wire_bytes),
+                   [&peer, tx] { peer.receiveReliable(tx); });
+    }
+  }
+
+  // The ack timeout is armed relative to this attempt's (known) arrival
+  // schedule plus the ack's flight time; the slack doubles per
+  // retransmission so congested paths back off.
+  const DurationNs ack_flight = p.wire_latency + p.serialize(p.header_bytes);
+  const TimeNs timeout_at = t.arrival + extra + ack_flight + tx->rto;
+  tx->rto = std::min<DurationNs>(
+      fm.rto_max,
+      static_cast<DurationNs>(static_cast<double>(tx->rto) * fm.rto_backoff));
+  const int attempt = tx->attempt;
+  eng.schedule(timeout_at, [this, tx, attempt] { onAckTimeout(tx, attempt); });
+}
+
+void Nic::receiveReliable(const std::shared_ptr<ReliableTx>& tx) {
+  // Late arrival after the sender already declared failure: the work
+  // request has completed with RetryExhausted; do not deliver behind it.
+  if (tx->failed) return;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tx->src)) << 40) |
+      static_cast<std::uint64_t>(tx->tx_seq);
+  if (delivered_tx_.insert(key).second) {
+    if (tx->deliver) tx->deliver();
+  } else {
+    ++fault_counters_.dup_discards;
+  }
+  // Always ack, even duplicates: the original ack may have been lost.
+  sendAck(tx);
+}
+
+void Nic::sendAck(const std::shared_ptr<ReliableTx>& tx) {
+  const FabricParams& p = fabric_.params();
+  const FaultRates& fr = p.fault.ratesFor(owner_, tx->src);
+  if (fr.drop > 0 && fabric_.drawUniform() < fr.drop) {
+    ++fault_counters_.acks_dropped;
+    return;
+  }
+  ++fault_counters_.acks_sent;
+  // Acks ride a dedicated control channel: latency + header serialization
+  // (+ jitter), no data-port contention.
+  const DurationNs extra = fabric_.drawJitter(fr.jitter);
+  Nic& sender = fabric_.nic(tx->src);
+  sim::Engine& eng = fabric_.engine();
+  eng.schedule(
+      eng.now() + p.wire_latency + p.serialize(p.header_bytes) + extra,
+      [&sender, tx] { sender.handleAck(tx); });
+}
+
+void Nic::handleAck(const std::shared_ptr<ReliableTx>& tx) {
+  if (tx->acked || tx->failed) return;
+  tx->acked = true;
+  if (tx->on_acked) tx->on_acked();
+}
+
+void Nic::onAckTimeout(const std::shared_ptr<ReliableTx>& tx, int attempt) {
+  // Stale timer: the tx was acked, already failed, or a newer attempt has
+  // its own timer armed.
+  if (tx->acked || tx->failed || tx->attempt != attempt) return;
+  ++fault_counters_.timeouts;
+  if (tx->attempt > fabric_.params().fault.max_retries) {
+    tx->failed = true;
+    ++fault_counters_.retry_exhausted;
+    if (tx->on_failed) tx->on_failed();
+    return;
+  }
+  ++fault_counters_.retransmissions;
+  attemptTransmission(tx);
+}
+
+// -------------------------------------------------------- work requests
+
 WorkId Nic::postSend(Rank dst, Packet pkt) {
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
   const Bytes wire = static_cast<Bytes>(pkt.payload.size()) + p.header_bytes;
-  const WireTimes t = reserveWire(peer, wire, eng.now() + p.nic_setup);
   const WorkId id = next_work_++;
 
+  if (fabric_.faultEnabled()) {
+    auto boxed = std::make_shared<Packet>(std::move(pkt));
+    auto tx = makeTx(dst, wire);
+    tx->deliver = [&peer, boxed] { peer.depositPacket(*boxed); };
+    tx->on_acked = [this, id] {
+      depositCompletion({id, WorkType::Send, WorkStatus::Ok});
+    };
+    tx->on_failed = [this, id] {
+      depositCompletion({id, WorkType::Send, WorkStatus::RetryExhausted});
+    };
+    attemptTransmission(tx);
+    return id;
+  }
+
+  const WireTimes t = reserveWire(peer, wire, eng.now() + p.nic_setup);
   eng.schedule(t.last_byte_out,
                [this, id] { depositCompletion({id, WorkType::Send}); });
   auto boxed = std::make_shared<Packet>(std::move(pkt));
@@ -45,15 +194,45 @@ WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
+  const WorkId id = next_work_++;
+  auto staged = std::make_shared<std::vector<std::byte>>();
+
+  if (fabric_.faultEnabled()) {
+    // Data and the optional same-QP notification travel as one reliable
+    // transmission: retransmission preserves the data-before-notify order a
+    // real go-back-N QP guarantees.
+    std::shared_ptr<Packet> boxed_notify;
+    Bytes wire = size + p.header_bytes;
+    if (notify != nullptr) {
+      boxed_notify = std::make_shared<Packet>(*notify);
+      wire += static_cast<Bytes>(boxed_notify->payload.size()) + p.header_bytes;
+    }
+    auto tx = makeTx(dst, wire);
+    tx->stage = [staged, src, size] {
+      staged->resize(static_cast<std::size_t>(size));
+      std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
+    };
+    tx->deliver = [&peer, staged, dst_ptr, size, boxed_notify] {
+      std::memcpy(dst_ptr, staged->data(), static_cast<std::size_t>(size));
+      if (boxed_notify) peer.depositPacket(*boxed_notify);
+    };
+    tx->on_acked = [this, id] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::Ok});
+    };
+    tx->on_failed = [this, id] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::RetryExhausted});
+    };
+    attemptTransmission(tx);
+    return id;
+  }
+
   const WireTimes t =
       reserveWire(peer, size + p.header_bytes, eng.now() + p.nic_setup);
-  const WorkId id = next_work_++;
 
   // DMA semantics: the NIC streams directly out of application memory; we
   // capture the bytes when the last byte leaves the source (the sender's
   // library will not touch the buffer before its local completion, which is
   // the same instant) and place them remotely at arrival.
-  auto staged = std::make_shared<std::vector<std::byte>>();
   eng.schedule(t.last_byte_out, [this, id, staged, src, size] {
     staged->resize(static_cast<std::size_t>(size));
     std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
@@ -82,16 +261,38 @@ WorkId Nic::postRdmaApply(
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
-  const WireTimes t =
-      reserveWire(peer, size + p.header_bytes, eng.now() + p.nic_setup);
   const WorkId id = next_work_++;
   auto staged = std::make_shared<std::vector<std::byte>>();
+  auto boxed_apply = std::make_shared<decltype(apply)>(std::move(apply));
+
+  if (fabric_.faultEnabled()) {
+    auto tx = makeTx(dst, size + p.header_bytes);
+    tx->stage = [staged, src, size] {
+      staged->resize(static_cast<std::size_t>(size));
+      std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
+    };
+    // De-duplication makes the target-side combine exactly-once, which is
+    // what keeps accumulate semantics correct under duplication faults.
+    tx->deliver = [staged, boxed_apply, dst_ptr, size] {
+      (*boxed_apply)(staged->data(), dst_ptr, size);
+    };
+    tx->on_acked = [this, id] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::Ok});
+    };
+    tx->on_failed = [this, id] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::RetryExhausted});
+    };
+    attemptTransmission(tx);
+    return id;
+  }
+
+  const WireTimes t =
+      reserveWire(peer, size + p.header_bytes, eng.now() + p.nic_setup);
   eng.schedule(t.last_byte_out, [this, id, staged, src, size] {
     staged->resize(static_cast<std::size_t>(size));
     std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
     depositCompletion({id, WorkType::RdmaWrite});
   });
-  auto boxed_apply = std::make_shared<decltype(apply)>(std::move(apply));
   eng.schedule(t.arrival, [staged, boxed_apply, dst_ptr, size] {
     (*boxed_apply)(staged->data(), dst_ptr, size);
   });
@@ -104,6 +305,37 @@ WorkId Nic::postRdmaRead(Rank target, void* local_dst, const void* remote_src,
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(target);
   const WorkId id = next_work_++;
+
+  if (fabric_.faultEnabled()) {
+    // Two reliable legs: the read request to the target NIC, then the data
+    // streamed back by the target's DMA engine (still no target-host
+    // involvement).  The requester's CQE appears when the data lands; a
+    // failure of either leg surfaces RetryExhausted on the requester's CQ
+    // (its own response timeout).
+    auto req = makeTx(target, p.header_bytes);
+    req->deliver = [this, &peer, id, local_dst, remote_src, size] {
+      auto staged = std::make_shared<std::vector<std::byte>>();
+      auto data = peer.makeTx(owner_, size + fabric_.params().header_bytes);
+      data->stage = [staged, remote_src, size] {
+        staged->resize(static_cast<std::size_t>(size));
+        std::memcpy(staged->data(), remote_src,
+                    static_cast<std::size_t>(size));
+      };
+      data->deliver = [this, id, staged, local_dst, size] {
+        std::memcpy(local_dst, staged->data(), static_cast<std::size_t>(size));
+        depositCompletion({id, WorkType::RdmaRead, WorkStatus::Ok});
+      };
+      data->on_failed = [this, id] {
+        depositCompletion({id, WorkType::RdmaRead, WorkStatus::RetryExhausted});
+      };
+      peer.attemptTransmission(data);
+    };
+    req->on_failed = [this, id] {
+      depositCompletion({id, WorkType::RdmaRead, WorkStatus::RetryExhausted});
+    };
+    attemptTransmission(req);
+    return id;
+  }
 
   // Read request travels to the target NIC...
   const WireTimes req =
@@ -152,11 +384,21 @@ void Nic::depositPacket(Packet pkt) {
 }
 
 Fabric::Fabric(sim::Engine& engine, FabricParams params, int nranks)
-    : engine_(engine), params_(params) {
+    : engine_(engine),
+      params_(params),
+      fault_enabled_(params_.fault.enabled()),
+      fault_rng_(params_.fault.seed),
+      deterministic_drops_left_(params_.fault.deterministic_drops) {
   nics_.reserve(static_cast<std::size_t>(nranks));
   for (Rank r = 0; r < nranks; ++r) {
     nics_.push_back(std::unique_ptr<Nic>(new Nic(*this, r)));
   }
+}
+
+FaultCounters Fabric::faultTotals() const {
+  FaultCounters total;
+  for (const auto& nic : nics_) total += nic->fault_counters_;
+  return total;
 }
 
 }  // namespace ovp::net

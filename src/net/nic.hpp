@@ -17,15 +17,28 @@
 //   arrival             = first_byte_in + S*G   (b.rx_busy updated)
 // which reduces to t0 + L + S*G on an unloaded path, and models egress and
 // ingress port contention under load (e.g. FT's Alltoall).
+// When FabricParams::fault is enabled the fabric becomes lossy and every
+// NIC runs a reliability protocol on top of the same wire model: each data
+// transmission is acked by the receiving NIC, lost/corrupted packets are
+// retransmitted on an exponentially backed-off timeout, receivers
+// de-duplicate (and re-ack) by per-sender transmission id, and a work
+// request whose retries are exhausted completes with
+// WorkStatus::RetryExhausted.  Local completions are then delivered at ack
+// arrival (delivery-implies-completion); with the fault model disabled the
+// legacy lossless path below is used unchanged.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <memory>
+#include <unordered_set>
 
+#include "net/fault.hpp"
 #include "net/memreg.hpp"
 #include "net/packet.hpp"
 #include "net/params.hpp"
 #include "sim/engine.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace ovp::net {
@@ -84,6 +97,14 @@ class Nic {
   }
   [[nodiscard]] Bytes bytesSent() const { return bytes_sent_; }
 
+  /// Fault/reliability counters for this NIC (all zero when the fault
+  /// model is disabled).  Tx-side events (drops, retransmissions, timeouts,
+  /// retry exhaustion) count on the sending NIC; rx-side events (CRC
+  /// discards, duplicate discards, acks) on the receiving NIC.
+  [[nodiscard]] const FaultCounters& faultCounters() const {
+    return fault_counters_;
+  }
+
  private:
   friend class Fabric;
 
@@ -99,6 +120,40 @@ class Nic {
   void depositCompletion(Completion c);
   void depositPacket(Packet pkt);
 
+  // ---- reliability protocol (fault mode only) ----
+
+  /// One reliable logical transmission: the unit that is acked, timed out
+  /// and retransmitted.  `deliver` runs exactly once on the receiving NIC
+  /// (duplicates are discarded there); `stage` captures source bytes at the
+  /// first attempt's last-byte-out; `on_acked`/`on_failed` run on the
+  /// sending NIC.
+  struct ReliableTx {
+    std::int64_t tx_seq = 0;  // unique per sending NIC
+    Rank src = -1;
+    Rank dst = -1;
+    Bytes wire_bytes = 0;
+    int attempt = 0;  // transmissions so far (1 = original)
+    DurationNs rto = 0;
+    bool staged = false;
+    bool acked = false;
+    bool failed = false;
+    std::function<void()> stage;
+    std::function<void()> deliver;
+    std::function<void()> on_acked;
+    std::function<void()> on_failed;
+  };
+
+  std::shared_ptr<ReliableTx> makeTx(Rank dst, Bytes wire_bytes);
+  /// Sends (or re-sends) `tx` over the wire, rolling fault dice for this
+  /// attempt, and arms the ack timeout.
+  void attemptTransmission(const std::shared_ptr<ReliableTx>& tx);
+  /// Receiver side: de-duplicates, runs deliver once, always (re-)acks.
+  void receiveReliable(const std::shared_ptr<ReliableTx>& tx);
+  /// Schedules the ack flight back to the sender (acks can be lost too).
+  void sendAck(const std::shared_ptr<ReliableTx>& tx);
+  void handleAck(const std::shared_ptr<ReliableTx>& tx);
+  void onAckTimeout(const std::shared_ptr<ReliableTx>& tx, int attempt);
+
   Fabric& fabric_;
   Rank owner_;
   RegistrationCache reg_cache_;
@@ -107,8 +162,12 @@ class Nic {
   TimeNs tx_busy_ = 0;
   TimeNs rx_busy_ = 0;
   WorkId next_work_ = 1;
+  std::int64_t next_tx_seq_ = 1;
   std::int64_t packets_delivered_ = 0;
   Bytes bytes_sent_ = 0;
+  FaultCounters fault_counters_;
+  /// Rx-side de-duplication: (src rank, tx_seq) pairs already delivered.
+  std::unordered_set<std::uint64_t> delivered_tx_;
 };
 
 /// The cluster fabric: one NIC per rank plus the shared timing parameters
@@ -122,10 +181,41 @@ class Fabric {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] int size() const { return static_cast<int>(nics_.size()); }
 
+  /// True when the fault model changes any behaviour (NICs then run the
+  /// reliability protocol).
+  [[nodiscard]] bool faultEnabled() const { return fault_enabled_; }
+
+  /// Sum of all NICs' fault counters.
+  [[nodiscard]] FaultCounters faultTotals() const;
+
  private:
+  friend class Nic;
+
+  /// Deterministic fault dice; consumed in engine event order only.
+  [[nodiscard]] double drawUniform() { return fault_rng_.uniform(); }
+  [[nodiscard]] DurationNs drawJitter(DurationNs max_jitter) {
+    return max_jitter <= 0
+               ? 0
+               : static_cast<DurationNs>(fault_rng_.below(
+                     static_cast<std::uint64_t>(max_jitter) + 1));
+  }
+  /// Consumes one deterministic-drop token; true if this attempt must drop.
+  [[nodiscard]] bool takeDeterministicDrop() {
+    if (deterministic_drops_left_ <= 0) return false;
+    --deterministic_drops_left_;
+    return true;
+  }
+  [[nodiscard]] DurationNs reorderHold() const {
+    return params_.fault.reorder_hold > 0 ? params_.fault.reorder_hold
+                                          : 2 * params_.wire_latency;
+  }
+
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  bool fault_enabled_ = false;
+  util::Rng fault_rng_;
+  int deterministic_drops_left_ = 0;
 };
 
 }  // namespace ovp::net

@@ -25,11 +25,17 @@ struct Packet {
 /// Kind of work request a completion refers to.
 enum class WorkType : std::uint8_t { Send, RdmaWrite, RdmaRead };
 
+/// Outcome of a work request.  RetryExhausted only occurs under the fault
+/// model's reliability protocol, when a transfer ran out of retransmission
+/// attempts; the library layers surface it as a hard error.
+enum class WorkStatus : std::uint8_t { Ok, RetryExhausted };
+
 /// Local completion-queue entry, produced by the NIC when a posted work
 /// request finishes, discovered by the host only via polling.
 struct Completion {
   WorkId id = -1;
   WorkType type = WorkType::Send;
+  WorkStatus status = WorkStatus::Ok;
 };
 
 /// Serialization helpers for fixed-layout control headers.

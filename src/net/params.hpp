@@ -8,6 +8,7 @@
 // on ratios and mechanisms, not constants.
 #pragma once
 
+#include "net/fault.hpp"
 #include "util/types.hpp"
 
 namespace ovp::net {
@@ -42,6 +43,11 @@ struct FabricParams {
 
   /// Wire size of a zero-payload control packet (headers).
   Bytes header_bytes = 64;
+
+  /// Fault-injection + NIC reliability model (net/fault.hpp).  Disabled by
+  /// default: the fabric is lossless and timing matches the legacy model
+  /// bit-for-bit.
+  FaultModel fault;
 
   /// Returns serialization time for n bytes at one port.
   [[nodiscard]] DurationNs serialize(Bytes n) const {

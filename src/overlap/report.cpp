@@ -52,6 +52,16 @@ void Report::write(std::ostream& os) const {
   os << "bound_cases: same_call=" << case_same_call
      << " split_call=" << case_split_call
      << " inconclusive=" << case_inconclusive << '\n';
+  if (faults.any()) {
+    os << "faults: attempts=" << faults.attempts << " drops=" << faults.drops
+       << " corrupt=" << faults.corrupt_drops
+       << " dup=" << faults.duplicates << '/' << faults.dup_discards
+       << " reorders=" << faults.reorders
+       << " retransmissions=" << faults.retransmissions
+       << " timeouts=" << faults.timeouts
+       << " retry_exhausted=" << faults.retry_exhausted
+       << " acks=" << faults.acks_sent << '/' << faults.acks_dropped << '\n';
+  }
   writeSection(os, whole, classes);
   for (const SectionReport& s : sections) writeSection(os, s, classes);
 }
@@ -115,6 +125,16 @@ void Report::save(std::ostream& os) const {
   os << "events " << events_logged << ' ' << queue_drains << '\n';
   os << "cases " << case_same_call << ' ' << case_split_call << ' '
      << case_inconclusive << '\n';
+  if (faults.any()) {
+    // Written only when non-zero so fault-free outputs stay byte-identical
+    // with pre-fault readers/goldens; load() treats the line as optional.
+    os << "faults " << faults.attempts << ' ' << faults.drops << ' '
+       << faults.corrupt_drops << ' ' << faults.duplicates << ' '
+       << faults.dup_discards << ' ' << faults.reorders << ' '
+       << faults.retransmissions << ' ' << faults.timeouts << ' '
+       << faults.retry_exhausted << ' ' << faults.acks_sent << ' '
+       << faults.acks_dropped << '\n';
+  }
   os << "classes";
   for (const Bytes b : classes.bounds()) os << ' ' << b;
   os << '\n';
@@ -139,7 +159,18 @@ bool Report::load(std::istream& is) {
       key != "cases") {
     return false;
   }
-  if (!(is >> key) || key != "classes") return false;
+  if (!(is >> key)) return false;
+  if (key == "faults") {
+    if (!(is >> faults.attempts >> faults.drops >> faults.corrupt_drops >>
+          faults.duplicates >> faults.dup_discards >> faults.reorders >>
+          faults.retransmissions >> faults.timeouts >>
+          faults.retry_exhausted >> faults.acks_sent >>
+          faults.acks_dropped)) {
+      return false;
+    }
+    if (!(is >> key)) return false;
+  }
+  if (key != "classes") return false;
   std::getline(is, line);
   {
     std::vector<Bytes> bounds;
@@ -219,6 +250,7 @@ Report mergeReports(const std::vector<Report>& reports) {
     merged.case_same_call += r.case_same_call;
     merged.case_split_call += r.case_split_call;
     merged.case_inconclusive += r.case_inconclusive;
+    merged.faults += r.faults;
     mergeSection(merged.whole, r.whole);
     for (const SectionReport& s : r.sections) {
       SectionReport* target = nullptr;

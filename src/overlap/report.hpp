@@ -60,6 +60,65 @@ struct SectionReport {
   std::int64_t calls = 0;                  // communication calls entered
 };
 
+/// Fault-injection / NIC-reliability counters attached to a report when the
+/// simulated fabric ran with net::FaultModel enabled.  Mirrors
+/// net::FaultCounters field-for-field (duplicated here because overlap/ sits
+/// below net/ in the dependency graph); the machine layer copies the values
+/// over after a run.  All zero (and omitted from output) on a lossless
+/// fabric.
+struct FaultStats {
+  std::int64_t attempts = 0;
+  std::int64_t drops = 0;
+  std::int64_t corrupt_drops = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t dup_discards = 0;
+  std::int64_t reorders = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t retry_exhausted = 0;
+  std::int64_t acks_sent = 0;
+  std::int64_t acks_dropped = 0;
+
+  [[nodiscard]] bool any() const {
+    return attempts != 0 || drops != 0 || corrupt_drops != 0 ||
+           duplicates != 0 || dup_discards != 0 || reorders != 0 ||
+           retransmissions != 0 || timeouts != 0 || retry_exhausted != 0 ||
+           acks_sent != 0 || acks_dropped != 0;
+  }
+
+  /// Field-for-field copy from any counter struct with the same member
+  /// names (i.e. net::FaultCounters) without a dependency on net/.
+  template <typename Counters>
+  void assignFrom(const Counters& c) {
+    attempts = c.attempts;
+    drops = c.drops;
+    corrupt_drops = c.corrupt_drops;
+    duplicates = c.duplicates;
+    dup_discards = c.dup_discards;
+    reorders = c.reorders;
+    retransmissions = c.retransmissions;
+    timeouts = c.timeouts;
+    retry_exhausted = c.retry_exhausted;
+    acks_sent = c.acks_sent;
+    acks_dropped = c.acks_dropped;
+  }
+
+  FaultStats& operator+=(const FaultStats& o) {
+    attempts += o.attempts;
+    drops += o.drops;
+    corrupt_drops += o.corrupt_drops;
+    duplicates += o.duplicates;
+    dup_discards += o.dup_discards;
+    reorders += o.reorders;
+    retransmissions += o.retransmissions;
+    timeouts += o.timeouts;
+    retry_exhausted += o.retry_exhausted;
+    acks_sent += o.acks_sent;
+    acks_dropped += o.acks_dropped;
+    return *this;
+  }
+};
+
 /// Per-process output of the framework, produced at finalize.
 struct Report {
   Rank rank = 0;
@@ -74,6 +133,9 @@ struct Report {
   std::int64_t case_same_call = 0;      // case 1
   std::int64_t case_split_call = 0;     // case 2
   std::int64_t case_inconclusive = 0;   // case 3
+  /// Fault/reliability counters for this rank's NIC (all zero unless the
+  /// fabric ran with fault injection enabled).
+  FaultStats faults;
 
   /// Finds a named section; nullptr if absent.
   [[nodiscard]] const SectionReport* findSection(std::string_view name) const;

@@ -10,6 +10,15 @@ namespace {
 /// Thrown into rank threads to unwind them when the job is being aborted
 /// (deadlock detected or a peer rank failed).  Never escapes Engine::run.
 struct EngineAborted {};
+
+/// Begins (or continues) a rank's abort unwind.  A rank that is already
+/// unwinding some exception reaches here through a destructor (e.g. a
+/// library call guard charging its exit cost); throwing EngineAborted
+/// there would std::terminate, so the call simply becomes a no-op —
+/// virtual time is meaningless during an abort anyway.
+void unwindIfSafe() {
+  if (std::uncaught_exceptions() == 0) throw EngineAborted{};
+}
 }  // namespace
 
 int Context::worldSize() const {
@@ -193,6 +202,12 @@ void Engine::wake(Rank rank) {
 void Engine::rankCompute(Rank rank, DurationNs d) {
   assert(d >= 0);
   std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) {
+    // Don't schedule a timed resume nobody will deliver (the abort discards
+    // the event queue); unwind, or no-op if already unwinding.
+    unwindIfSafe();
+    return;
+  }
   RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
   Event ev;
   ev.time = now_ + d;
@@ -206,6 +221,10 @@ void Engine::rankCompute(Rank rank, DurationNs d) {
 
 void Engine::rankSleep(Rank rank) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (aborting_) {
+    unwindIfSafe();
+    return;
+  }
   RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
   if (slot.wake_pending) {
     slot.wake_pending = false;
@@ -221,7 +240,7 @@ void Engine::yieldToEngine(std::unique_lock<std::mutex>& lock, Rank rank) {
   engine_cv_.notify_one();
   slot.cv.wait(lock, [&] { return slot.resume; });
   slot.resume = false;
-  if (aborting_) throw EngineAborted{};
+  if (aborting_) unwindIfSafe();
 }
 
 }  // namespace ovp::sim

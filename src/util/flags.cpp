@@ -61,4 +61,10 @@ bool verifyRequested(const Flags& flags) {
   return env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
 }
 
+std::string faultSpecRequested(const Flags& flags) {
+  if (flags.has("ovprof-fault")) return flags.getString("ovprof-fault", "");
+  const char* env = std::getenv("OVPROF_FAULT");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 }  // namespace ovp::util

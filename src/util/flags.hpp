@@ -34,4 +34,11 @@ class Flags {
 /// and UsageChecker without recompiling.
 [[nodiscard]] bool verifyRequested(const Flags& flags);
 
+/// Standard switch for fabric fault injection: returns the spec string from
+/// --ovprof-fault=<spec>, or from the OVPROF_FAULT environment variable when
+/// the flag is absent; empty string when neither is set.  The spec grammar
+/// is net::FaultModel::parse's ("drop=0.05,jitter=2000,seed=7", a bare
+/// number meaning drop=<number>).
+[[nodiscard]] std::string faultSpecRequested(const Flags& flags);
+
 }  // namespace ovp::util

@@ -7,7 +7,7 @@
 //           [--procs=N] [--preset=pipelined|leavepinned|mvapich2|mv2write]
 //           [--modified] [--variant=mpi|armci|armci-nb]
 //           [--reports=/path/prefix] [--iterations=N] [--ovprof-verify]
-//           [--ovprof-fault=SPEC]
+//           [--ovprof-fault=SPEC] [--ovprof-trace=FILE]
 //
 // --ovprof-verify (or OVPROF_VERIFY=1) attaches the analysis layer: a
 // StreamVerifier on every rank's event stream plus the library UsageChecker.
@@ -18,6 +18,15 @@
 // --ovprof-fault=drop=0.05,jitter=2000,seed=7 (a bare number means
 // drop=<number>).  The run must still verify; fault counters are printed
 // and attached to the reports.
+//
+// --ovprof-trace=FILE (or OVPROF_TRACE=FILE) records every instrumentation,
+// matching, and NIC event into per-rank trace rings and writes a Chrome
+// trace-event JSON to FILE (load it in Perfetto) plus a lossless CSV to
+// FILE.csv; a time-resolved overlap table and the cross-rank critical path
+// are printed.  Tracing costs virtual time (it is charged per record, like
+// the monitor's own overhead), so traced and untraced timings differ — by
+// design, not by accident.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -31,14 +40,36 @@
 #include "nas/lu.hpp"
 #include "nas/mg.hpp"
 #include "nas/sp.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/export.hpp"
+#include "trace/timeline.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 using namespace ovp;
 
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: nas_run [--kernel=cg|bt|lu|ft|sp|mg|ep|is] [--class=S|A|B]\n"
+      "               [--procs=N] "
+      "[--preset=pipelined|leavepinned|mvapich2|mv2write]\n"
+      "               [--modified] [--variant=mpi|armci|armci-nb]\n"
+      "               [--reports=/path/prefix] [--iterations=N]\n"
+      "framework flags (any ovprof binary):\n%s",
+      util::ovprofHelpText());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::Flags flags;
   if (!flags.parse(argc, argv)) return 2;
+  if (util::helpRequested(flags)) {
+    printUsage();
+    return 0;
+  }
 
   nas::SpParams params;  // superset of NasParams (modified/stages unused
                          // outside SP)
@@ -56,6 +87,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("fault model: %s\n", params.fabric.fault.describe().c_str());
+  }
+  const std::string trace_path = util::traceSpecRequested(flags);
+  const DurationNs trace_window =
+      flags.getInt("ovprof-trace-window", 1'000'000);
+  if (!trace_path.empty()) {
+    params.trace.enabled = true;
+    params.trace.ring_capacity = static_cast<std::size_t>(flags.getInt(
+        "ovprof-trace-capacity",
+        static_cast<std::int64_t>(params.trace.ring_capacity)));
   }
   const std::string preset = flags.getString("preset", "mvapich2");
   params.preset = preset == "pipelined" ? mpi::Preset::OpenMpiPipelined
@@ -119,6 +159,122 @@ int main(int argc, char** argv) {
                 static_cast<long long>(faults.timeouts),
                 static_cast<long long>(faults.dup_discards),
                 static_cast<long long>(faults.retry_exhausted));
+  }
+
+  if (result.trace) {
+    const trace::Collector& tc = *result.trace;
+    if (!trace::writeChromeJsonFile(tc, trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+    const std::string csv_path = trace_path + ".csv";
+    if (!trace::writeCsvFile(tc, csv_path)) {
+      std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("trace:      %lld records -> %s (Perfetto) and %s\n",
+                static_cast<long long>(tc.recordedTotal()), trace_path.c_str(),
+                csv_path.c_str());
+    if (tc.droppedTotal() > 0) {
+      std::fprintf(stderr,
+                   "warning: trace ring overflowed, %lld records dropped; "
+                   "rerun with a larger --ovprof-trace-capacity\n",
+                   static_cast<long long>(tc.droppedTotal()));
+    }
+
+    const auto per_rank = trace::analyzeAllWindows(tc, trace_window);
+    const auto merged = trace::sumWindows(per_rank);
+    // Keep the table readable: coarsen by merging adjacent windows when the
+    // run spans more than ~32 of them.
+    const std::size_t group =
+        merged.empty() ? 1 : (merged.size() + 31) / 32;
+    util::TextTable table({"window", "t [ms]", "comm [ms]", "comp [ms]",
+                           "xfers", "xfer time [ms]", "min ovl %",
+                           "max ovl %"});
+    for (std::size_t w = 0; w < merged.size(); w += group) {
+      trace::WindowStats ws;
+      std::size_t hi = std::min(merged.size(), w + group);
+      for (std::size_t i = w; i < hi; ++i) {
+        const trace::WindowStats& m = merged[i];
+        ws.comm_time += m.comm_time;
+        ws.comp_time += m.comp_time;
+        ws.transfers += m.transfers;
+        ws.bytes += m.bytes;
+        ws.data_transfer_time += m.data_transfer_time;
+        ws.min_overlap += m.min_overlap;
+        ws.max_overlap += m.max_overlap;
+      }
+      const double xt = static_cast<double>(ws.data_transfer_time);
+      table.addRow(
+          {std::to_string(w) + (group > 1 ? "-" + std::to_string(hi - 1) : ""),
+           util::TextTable::num(toMsec(static_cast<TimeNs>(w) * trace_window),
+                                3),
+           util::TextTable::num(toMsec(ws.comm_time), 3),
+           util::TextTable::num(toMsec(ws.comp_time), 3),
+           util::TextTable::integer(ws.transfers),
+           util::TextTable::num(toMsec(ws.data_transfer_time), 3),
+           util::TextTable::num(
+               xt > 0 ? 100.0 * static_cast<double>(ws.min_overlap) / xt : 0.0,
+               1),
+           util::TextTable::num(
+               xt > 0 ? 100.0 * static_cast<double>(ws.max_overlap) / xt : 0.0,
+               1)});
+    }
+    std::printf("time-resolved overlap (%.3f ms windows, all ranks):\n",
+                toMsec(trace_window));
+    table.print(std::cout);
+
+    // Reconciliation: with no drops, each rank's window columns must sum to
+    // its summary-report whole-run numbers exactly (same state machine, same
+    // table, exact integer attribution).
+    bool reconciled = true;
+    for (const trace::RankWindows& rw : per_rank) {
+      if (rw.dropped > 0) continue;  // undershoots by construction
+      const std::size_t r = static_cast<std::size_t>(rw.rank);
+      if (r >= result.reports.size()) continue;
+      const overlap::OverlapAccum& whole = result.reports[r].whole.total;
+      if (rw.total.transfers != whole.transfers ||
+          rw.total.bytes != whole.bytes ||
+          rw.total.data_transfer_time != whole.data_transfer_time ||
+          rw.total.min_overlapped != whole.min_overlapped ||
+          rw.total.max_overlapped != whole.max_overlapped) {
+        std::fprintf(stderr,
+                     "trace reconciliation FAILED on rank %d: windows sum to "
+                     "%lld xfers / %lld ns transfer / [%lld, %lld] ns overlap,"
+                     " report says %lld / %lld / [%lld, %lld]\n",
+                     rw.rank, static_cast<long long>(rw.total.transfers),
+                     static_cast<long long>(rw.total.data_transfer_time),
+                     static_cast<long long>(rw.total.min_overlapped),
+                     static_cast<long long>(rw.total.max_overlapped),
+                     static_cast<long long>(whole.transfers),
+                     static_cast<long long>(whole.data_transfer_time),
+                     static_cast<long long>(whole.min_overlapped),
+                     static_cast<long long>(whole.max_overlapped));
+        reconciled = false;
+      }
+    }
+    if (!result.reports.empty()) {
+      std::printf("trace reconciliation vs reports: %s\n",
+                  reconciled ? "exact" : "FAILED");
+      if (!reconciled) return 1;
+    }
+
+    const auto edges = trace::matchMessages(tc);
+    const trace::CriticalPath cp = trace::computeCriticalPath(tc, edges);
+    std::printf(
+        "message edges: %zu matched (%lld late-sender, %lld late-receiver)\n",
+        edges.size(), static_cast<long long>(cp.late_sender_edges),
+        static_cast<long long>(cp.late_receiver_edges));
+    std::printf("critical path (%zu segments):", cp.segments.size());
+    for (std::size_t r = 0; r < cp.rank_share.size(); ++r) {
+      if (cp.rank_share[r] == 0) continue;
+      std::printf(" rank%zu=%.1f%%", r,
+                  cp.end_time > 0
+                      ? 100.0 * static_cast<double>(cp.rank_share[r]) /
+                            static_cast<double>(cp.end_time)
+                      : 0.0);
+    }
+    std::printf("\n");
   }
 
   const std::string reports = flags.getString("reports", "");

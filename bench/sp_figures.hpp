@@ -6,9 +6,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "nas/sp.hpp"
+#include "trace/export.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +21,16 @@ inline void runSpFigure(const char* figure, const char* description,
                         char** argv) {
   util::Flags flags;
   if (!flags.parse(argc, argv)) std::exit(2);
+  if (util::helpRequested(flags)) {
+    std::printf(
+        "usage: %s [--iterations=N] [--csv]\n"
+        "With --ovprof-trace=FILE each of the six configurations writes its\n"
+        "own Chrome trace to FILE.p<procs>.<variant>.json (+ .csv).\n"
+        "framework flags:\n%s",
+        figure, util::ovprofHelpText());
+    std::exit(0);
+  }
+  const std::string trace_path = util::traceSpecRequested(flags);
   std::printf("=== %s ===\n%s\nlibrary: %s\n\n", figure, description,
               mpi::presetName(mpi::Preset::Mvapich2));
   util::TextTable table({"class", "procs", "variant", "verified", "min_pct",
@@ -33,7 +45,18 @@ inline void runSpFigure(const char* figure, const char* description,
       if (flags.has("iterations")) {
         params.iterations = static_cast<int>(flags.getInt("iterations", 0));
       }
+      if (!trace_path.empty()) params.trace.enabled = true;
       const nas::NasResult r = nas::runSp(params);
+      if (r.trace) {
+        const std::string base = trace_path + ".p" + std::to_string(p) + "." +
+                                 (modified ? "modified" : "original") +
+                                 ".json";
+        if (!trace::writeChromeJsonFile(*r.trace, base) ||
+            !trace::writeCsvFile(*r.trace, base + ".csv")) {
+          std::fprintf(stderr, "failed to write %s\n", base.c_str());
+          std::exit(1);
+        }
+      }
       const overlap::OverlapAccum acc =
           section_scope ? nas::aggregateSection(r.reports, "solve-overlap")
                         : nas::aggregateWhole(r.reports);

@@ -7,6 +7,7 @@
 
 #include "analysis/stream_verifier.hpp"
 #include "mpi/config.hpp"  // analyticTable
+#include "trace/net_tap.hpp"
 
 namespace ovp::armci {
 
@@ -354,6 +355,16 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
       cfg_.armci.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,
       overlap::Report{});
   diagnostics_.clear();
+  trace_.reset();
+  std::unique_ptr<trace::NetTap> tap;
+  if (cfg_.trace.enabled) {
+    trace_ = std::make_shared<trace::Collector>(cfg_.trace, cfg_.nranks);
+    trace_->setTable(cfg_.armci.monitor.table.empty()
+                         ? mpi::analyticTable(cfg_.fabric)
+                         : cfg_.armci.monitor.table);
+    tap = std::make_unique<trace::NetTap>(*trace_);
+    fabric.setObserver(tap.get());
+  }
   engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
     Armci armci(ctx, fabric, cfg_.armci, barrier);
     std::unique_ptr<analysis::StreamVerifier> verifier;
@@ -361,15 +372,34 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
     if (cfg_.armci.verify) {
       if (armci.monitor() != nullptr) {
         verifier = std::make_unique<analysis::StreamVerifier>(ctx.rank());
-        verifier->attach(*armci.monitor());
       }
       checker = std::make_unique<analysis::UsageChecker>(ctx.rank());
       armci.setUsageChecker(checker.get());
+    }
+    if (overlap::Monitor* mon = armci.monitor();
+        mon != nullptr && (verifier || trace_)) {
+      analysis::StreamVerifier* v = verifier.get();
+      trace::Collector* tc = trace_.get();
+      const Rank r = ctx.rank();
+      mon->setEventObserver(
+          [mon, v, tc, r](const overlap::Event& e) {
+            if (v != nullptr) v->consume(e);
+            if (tc != nullptr) {
+              if (e.type == overlap::EventType::SectionBegin) {
+                tc->noteSectionName(
+                    r, e.id,
+                    mon->sectionName(static_cast<overlap::SectionId>(e.id)));
+              }
+              tc->onMonitorEvent(r, e);
+            }
+          },
+          trace_ ? cfg_.trace.record_cost : 0);
     }
     rankMain(armci);
     if (armci.instrumented()) {
       reports_[static_cast<std::size_t>(ctx.rank())] = armci.finalizeReport();
     }
+    if (trace_) trace_->setEndTime(ctx.rank(), ctx.now());
     if (checker) checker->onFinalize("ARMCI_Finalize");
     if (verifier) {
       verifier->finish(armci.monitor() != nullptr

@@ -26,6 +26,7 @@
 #include "net/nic.hpp"
 #include "overlap/monitor.hpp"
 #include "sim/engine.hpp"
+#include "trace/collector.hpp"
 #include "util/types.hpp"
 
 namespace ovp::armci {
@@ -184,6 +185,7 @@ struct ArmciJobConfig {
   int nranks = 2;
   net::FabricParams fabric;
   ArmciConfig armci;
+  trace::CollectorConfig trace;
 };
 
 class ArmciMachine {
@@ -204,12 +206,19 @@ class ArmciMachine {
     return fault_totals_;
   }
 
+  /// Trace collector of the last run (null unless cfg.trace.enabled).
+  [[nodiscard]] const std::shared_ptr<trace::Collector>& traceCollector()
+      const {
+    return trace_;
+  }
+
  private:
   ArmciJobConfig cfg_;
   sim::Engine engine_;
   std::vector<overlap::Report> reports_;
   std::vector<analysis::Diagnostic> diagnostics_;
   overlap::FaultStats fault_totals_;
+  std::shared_ptr<trace::Collector> trace_;
 };
 
 }  // namespace ovp::armci

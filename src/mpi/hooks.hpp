@@ -27,6 +27,12 @@ struct EventHooks {
   std::function<void(TimeNs)> on_xfer_end;
   /// An incoming message was matched to a receive request.
   std::function<void(TimeNs, Rank source, int tag, Bytes bytes)> on_match;
+  /// A send operation was handed to the library (seq assigned, before any
+  /// protocol step).  Paired with on_match on the destination rank these
+  /// allow cross-process late-sender / late-receiver analysis.
+  std::function<void(TimeNs, Rank dst, int tag, Bytes bytes)> on_send_post;
+  /// A receive request entered matching (posted or blocking).
+  std::function<void(TimeNs, Rank source, int tag, Bytes bytes)> on_recv_post;
 };
 
 }  // namespace ovp::mpi

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
@@ -13,6 +14,7 @@
 #include "mpi/mpi.hpp"
 #include "net/nic.hpp"
 #include "sim/engine.hpp"
+#include "trace/collector.hpp"
 
 namespace ovp::mpi {
 
@@ -20,6 +22,7 @@ struct JobConfig {
   int nranks = 2;
   net::FabricParams fabric;
   MpiConfig mpi;
+  trace::CollectorConfig trace;
 };
 
 class Machine {
@@ -59,12 +62,20 @@ class Machine {
     return fault_totals_;
   }
 
+  /// Trace collector of the last run (null unless cfg.trace.enabled).
+  /// Shared so results can outlive the Machine.
+  [[nodiscard]] const std::shared_ptr<trace::Collector>& traceCollector()
+      const {
+    return trace_;
+  }
+
  private:
   JobConfig cfg_;
   sim::Engine engine_;
   std::vector<overlap::Report> reports_;
   std::vector<analysis::Diagnostic> diagnostics_;
   overlap::FaultStats fault_totals_;
+  std::shared_ptr<trace::Collector> trace_;
 };
 
 }  // namespace ovp::mpi

@@ -110,6 +110,9 @@ void Mpi::compute(DurationNs d) { ctx_.compute(d); }
 
 void Mpi::stampXferBegin(TransferId& id_out, Bytes size) {
   if (size > 0 && hooks_.on_xfer_begin) hooks_.on_xfer_begin(ctx_.now(), size);
+  if (size > 0 && trace_hooks_.on_xfer_begin) {
+    trace_hooks_.on_xfer_begin(ctx_.now(), size);
+  }
   if (!monitor_ || size <= 0) {
     id_out = kInvalidTransfer;
     return;
@@ -121,14 +124,39 @@ void Mpi::stampXferBegin(TransferId& id_out, Bytes size) {
 
 void Mpi::stampXferEnd(TransferId id) {
   if (hooks_.on_xfer_end) hooks_.on_xfer_end(ctx_.now());
+  if (trace_hooks_.on_xfer_end) trace_hooks_.on_xfer_end(ctx_.now());
   if (!monitor_ || id == kInvalidTransfer) return;
   ctx_.advance(monitor_->xferEnd(ctx_.now(), id));
 }
 
 void Mpi::stampXferEndUnmatched(Bytes size) {
   if (size > 0 && hooks_.on_xfer_end) hooks_.on_xfer_end(ctx_.now());
+  if (size > 0 && trace_hooks_.on_xfer_end) {
+    trace_hooks_.on_xfer_end(ctx_.now());
+  }
   if (!monitor_ || size <= 0) return;
   ctx_.advance(monitor_->xferEndUnmatched(ctx_.now(), size));
+}
+
+void Mpi::notifyMatch(Rank source, int tag, Bytes bytes) {
+  if (hooks_.on_match) hooks_.on_match(ctx_.now(), source, tag, bytes);
+  if (trace_hooks_.on_match) {
+    trace_hooks_.on_match(ctx_.now(), source, tag, bytes);
+  }
+}
+
+void Mpi::notifySendPost(Rank dst, int tag, Bytes bytes) {
+  if (hooks_.on_send_post) hooks_.on_send_post(ctx_.now(), dst, tag, bytes);
+  if (trace_hooks_.on_send_post) {
+    trace_hooks_.on_send_post(ctx_.now(), dst, tag, bytes);
+  }
+}
+
+void Mpi::notifyRecvPost(Rank source, int tag, Bytes bytes) {
+  if (hooks_.on_recv_post) hooks_.on_recv_post(ctx_.now(), source, tag, bytes);
+  if (trace_hooks_.on_recv_post) {
+    trace_hooks_.on_recv_post(ctx_.now(), source, tag, bytes);
+  }
 }
 
 // -------------------------------------------------------------- progress
@@ -191,9 +219,7 @@ void Mpi::handlePacket(net::Packet pkt) {
         req->status = {hdr.src, hdr.tag, hdr.msg_bytes};
         req->complete = true;
         posted_recvs_.erase(it);
-        if (hooks_.on_match) {
-          hooks_.on_match(ctx_.now(), hdr.src, hdr.tag, hdr.msg_bytes);
-        }
+        notifyMatch(hdr.src, hdr.tag, hdr.msg_bytes);
         return;
       }
       UnexpectedMsg u;
@@ -252,9 +278,7 @@ void Mpi::handleRts(const net::Packet& pkt) {
       throw std::runtime_error("mpi: rendezvous message overflows recv buffer");
     }
     req->status = {hdr.src, hdr.tag, hdr.msg_bytes};
-    if (hooks_.on_match) {
-      hooks_.on_match(ctx_.now(), hdr.src, hdr.tag, hdr.msg_bytes);
-    }
+    notifyMatch(hdr.src, hdr.tag, hdr.msg_bytes);
     if (rendezvousStyle(cfg_.preset) != RendezvousStyle::Read) {
       // Copy out the first fragment that rode along with the RTS.
       const Bytes frag1 = hdr.frag_bytes;
@@ -468,6 +492,7 @@ void Mpi::startRendezvousSend(const std::shared_ptr<RequestState>& req,
 
 void Mpi::startSend(const std::shared_ptr<RequestState>& req, bool sync) {
   req->seq = next_seq_++;
+  notifySendPost(req->peer, req->tag, req->size);
   if (!sync && req->size < cfg_.eager_limit) {
     startEagerSend(req);
   } else {
@@ -478,6 +503,7 @@ void Mpi::startSend(const std::shared_ptr<RequestState>& req, bool sync) {
 // --------------------------------------------------------------- receive
 
 void Mpi::matchReceive(const std::shared_ptr<RequestState>& req) {
+  notifyRecvPost(req->peer, req->tag, req->size);
   // First try the unexpected queue (FIFO), then post.
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
     if (!matches(req->peer, req->tag, it->hdr.src, it->hdr.tag)) continue;
@@ -487,9 +513,7 @@ void Mpi::matchReceive(const std::shared_ptr<RequestState>& req) {
       throw std::runtime_error("mpi: message overflows recv buffer");
     }
     req->status = {u.hdr.src, u.hdr.tag, u.hdr.msg_bytes};
-    if (hooks_.on_match) {
-      hooks_.on_match(ctx_.now(), u.hdr.src, u.hdr.tag, u.hdr.msg_bytes);
-    }
+    notifyMatch(u.hdr.src, u.hdr.tag, u.hdr.msg_bytes);
     if (u.channel == wire::kEager) {
       ctx_.advance(fabric_.params().hostCopy(u.hdr.msg_bytes));
       std::memcpy(req->rbuf, u.data.data(),

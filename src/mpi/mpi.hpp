@@ -108,6 +108,11 @@ class Mpi {
   /// Registers PERUSE-style external callbacks (see mpi/hooks.hpp).
   void setHooks(EventHooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Second, framework-internal hook slot used by the trace collector so it
+  /// never competes with application-installed hooks.  Both sets fire at
+  /// every instrumentation point (application hooks first).
+  void setTraceHooks(EventHooks hooks) { trace_hooks_ = std::move(hooks); }
+
   /// Attaches a library-misuse checker (not owned; may be null).  The
   /// library notifies it of request lifecycle and section marker calls.
   void setUsageChecker(analysis::UsageChecker* checker) { checker_ = checker; }
@@ -147,16 +152,22 @@ class Mpi {
   // is fine — the Monitor and the hooks act only at the outermost level.
   struct CallGuard {
     explicit CallGuard(Mpi& m) : m_(m) {
-      if (m_.hook_call_depth_++ == 0 && m_.hooks_.on_call_enter) {
-        m_.hooks_.on_call_enter(m_.ctx_.now());
+      if (m_.hook_call_depth_++ == 0) {
+        if (m_.hooks_.on_call_enter) m_.hooks_.on_call_enter(m_.ctx_.now());
+        if (m_.trace_hooks_.on_call_enter) {
+          m_.trace_hooks_.on_call_enter(m_.ctx_.now());
+        }
       }
       if (m_.monitor_) m_.ctx_.advance(m_.monitor_->callEnter(m_.ctx_.now()));
       m_.ctx_.advance(m_.cfg_.call_overhead);
     }
     ~CallGuard() {
       if (m_.monitor_) m_.ctx_.advance(m_.monitor_->callExit(m_.ctx_.now()));
-      if (--m_.hook_call_depth_ == 0 && m_.hooks_.on_call_exit) {
-        m_.hooks_.on_call_exit(m_.ctx_.now());
+      if (--m_.hook_call_depth_ == 0) {
+        if (m_.hooks_.on_call_exit) m_.hooks_.on_call_exit(m_.ctx_.now());
+        if (m_.trace_hooks_.on_call_exit) {
+          m_.trace_hooks_.on_call_exit(m_.ctx_.now());
+        }
       }
     }
     CallGuard(const CallGuard&) = delete;
@@ -194,12 +205,18 @@ class Mpi {
   void stampXferEnd(TransferId id);
   void stampXferEndUnmatched(Bytes size);
 
+  // hook fan-out: fires the application hook set then the trace set
+  void notifyMatch(Rank source, int tag, Bytes bytes);
+  void notifySendPost(Rank dst, int tag, Bytes bytes);
+  void notifyRecvPost(Rank source, int tag, Bytes bytes);
+
   sim::Context& ctx_;
   net::Fabric& fabric_;
   net::Nic& nic_;
   MpiConfig cfg_;
   std::unique_ptr<overlap::Monitor> monitor_;
   EventHooks hooks_;
+  EventHooks trace_hooks_;
   analysis::UsageChecker* checker_ = nullptr;
   int hook_call_depth_ = 0;
 

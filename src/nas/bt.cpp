@@ -535,6 +535,7 @@ NasResult runBt(const NasParams& params) {
   out.time = machine.finishTime();
   out.reports = machine.reports();
   out.diagnostics = machine.diagnostics();
+  out.trace = machine.traceCollector();
   return out;
 }
 

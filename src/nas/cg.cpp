@@ -230,6 +230,7 @@ NasResult runCg(const NasParams& params) {
   res.time = machine.finishTime();
   res.reports = machine.reports();
   res.diagnostics = machine.diagnostics();
+  res.trace = machine.traceCollector();
   return res;
 }
 

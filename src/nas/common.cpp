@@ -48,6 +48,7 @@ mpi::JobConfig makeJobConfig(const NasParams& p) {
   cfg.mpi.verify = p.verify;
   // Per-size-class breakdown like the paper's reports.
   cfg.mpi.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
+  cfg.trace = p.trace;
   return cfg;
 }
 

@@ -59,6 +59,8 @@ struct NasParams {
   /// Overrides the number of time steps / outer iterations (0 = class
   /// default).
   int iterations = 0;
+  /// Always-on event tracing (timeline export + cross-rank analysis).
+  trace::CollectorConfig trace;
 };
 
 /// Sums per-rank whole-run overlap accumulators (all ranks, all sizes).
@@ -82,6 +84,8 @@ struct NasResult {
   std::vector<overlap::Report> reports;  // per rank (instrumented runs)
   /// Analysis-layer findings, all ranks (empty unless NasParams::verify).
   std::vector<analysis::Diagnostic> diagnostics;
+  /// Trace collector (null unless NasParams::trace.enabled).
+  std::shared_ptr<trace::Collector> trace;
 
   /// Whole-run overlap percentages aggregated over every process (our
   /// decomposition makes rank 0 a corner rank, so unlike the paper's

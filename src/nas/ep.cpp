@@ -132,6 +132,7 @@ NasResult runEp(const NasParams& params) {
   out.time = machine.finishTime();
   out.reports = machine.reports();
   out.diagnostics = machine.diagnostics();
+  out.trace = machine.traceCollector();
   return out;
 }
 

@@ -278,6 +278,7 @@ NasResult runFt(const NasParams& params) {
   res.time = machine.finishTime();
   res.reports = machine.reports();
   res.diagnostics = machine.diagnostics();
+  res.trace = machine.traceCollector();
   return res;
 }
 

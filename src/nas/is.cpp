@@ -179,6 +179,7 @@ NasResult runIs(const NasParams& params) {
   out.time = machine.finishTime();
   out.reports = machine.reports();
   out.diagnostics = machine.diagnostics();
+  out.trace = machine.traceCollector();
   return out;
 }
 

@@ -291,6 +291,7 @@ NasResult runLu(const NasParams& params) {
   out.time = machine.finishTime();
   out.reports = machine.reports();
   out.diagnostics = machine.diagnostics();
+  out.trace = machine.traceCollector();
   return out;
 }
 

@@ -587,6 +587,7 @@ NasResult runMg(const MgParams& params) {
     out.time = machine.finishTime();
     out.reports = machine.reports();
     out.diagnostics = machine.diagnostics();
+    out.trace = machine.traceCollector();
   } else {
     armci::ArmciJobConfig cfg;
     cfg.nranks = params.nranks;
@@ -594,6 +595,7 @@ NasResult runMg(const MgParams& params) {
     cfg.armci.instrument = params.instrument;
     cfg.armci.verify = params.verify;
     cfg.armci.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
+    cfg.trace = params.trace;
     armci::ArmciMachine machine(cfg);
     const bool nonblocking = params.variant == MgVariant::ArmciNonBlocking;
     machine.run([&](armci::Armci& a) {
@@ -678,6 +680,7 @@ NasResult runMg(const MgParams& params) {
     out.time = machine.finishTime();
     out.reports = machine.reports();
     out.diagnostics = machine.diagnostics();
+    out.trace = machine.traceCollector();
   }
 
   out.checksum = res_out;

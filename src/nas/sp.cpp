@@ -661,6 +661,7 @@ NasResult runSp(const SpParams& params) {
   out.time = machine.finishTime();
   out.reports = machine.reports();
   out.diagnostics = machine.diagnostics();
+  out.trace = machine.traceCollector();
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <memory>
 
+#include "net/observer.hpp"
+
 namespace ovp::net {
 
 Nic::Nic(Fabric& fabric, Rank owner)
@@ -147,6 +149,10 @@ void Nic::onAckTimeout(const std::shared_ptr<ReliableTx>& tx, int attempt) {
   // its own timer armed.
   if (tx->acked || tx->failed || tx->attempt != attempt) return;
   ++fault_counters_.timeouts;
+  if (fabric_.observer_ != nullptr) {
+    fabric_.observer_->onTimeout(owner_, tx->tx_seq, attempt,
+                                 fabric_.engine().now());
+  }
   if (tx->attempt > fabric_.params().fault.max_retries) {
     tx->failed = true;
     ++fault_counters_.retry_exhausted;
@@ -154,6 +160,11 @@ void Nic::onAckTimeout(const std::shared_ptr<ReliableTx>& tx, int attempt) {
     return;
   }
   ++fault_counters_.retransmissions;
+  if (fabric_.observer_ != nullptr) {
+    fabric_.observer_->onRetransmit(owner_, tx->dst, tx->tx_seq,
+                                    tx->attempt + 1, tx->wire_bytes,
+                                    fabric_.engine().now());
+  }
   attemptTransmission(tx);
 }
 
@@ -165,6 +176,7 @@ WorkId Nic::postSend(Rank dst, Packet pkt) {
   Nic& peer = fabric_.nic(dst);
   const Bytes wire = static_cast<Bytes>(pkt.payload.size()) + p.header_bytes;
   const WorkId id = next_work_++;
+  notifyPost(dst, id, WorkType::Send, wire);
 
   if (fabric_.faultEnabled()) {
     auto boxed = std::make_shared<Packet>(std::move(pkt));
@@ -195,6 +207,7 @@ WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
   const WorkId id = next_work_++;
+  notifyPost(dst, id, WorkType::RdmaWrite, size + p.header_bytes);
   auto staged = std::make_shared<std::vector<std::byte>>();
 
   if (fabric_.faultEnabled()) {
@@ -262,6 +275,7 @@ WorkId Nic::postRdmaApply(
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
   const WorkId id = next_work_++;
+  notifyPost(dst, id, WorkType::RdmaWrite, size + p.header_bytes);
   auto staged = std::make_shared<std::vector<std::byte>>();
   auto boxed_apply = std::make_shared<decltype(apply)>(std::move(apply));
 
@@ -305,6 +319,7 @@ WorkId Nic::postRdmaRead(Rank target, void* local_dst, const void* remote_src,
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(target);
   const WorkId id = next_work_++;
+  notifyPost(target, id, WorkType::RdmaRead, size + p.header_bytes);
 
   if (fabric_.faultEnabled()) {
     // Two reliable legs: the read request to the target NIC, then the data
@@ -372,7 +387,17 @@ bool Nic::pollRecv(Packet& out) {
   return true;
 }
 
+void Nic::notifyPost(Rank dst, WorkId id, WorkType type, Bytes wire_bytes) {
+  if (fabric_.observer_ != nullptr) {
+    fabric_.observer_->onPost(owner_, dst, id, type, wire_bytes,
+                              fabric_.engine().now());
+  }
+}
+
 void Nic::depositCompletion(Completion c) {
+  if (fabric_.observer_ != nullptr) {
+    fabric_.observer_->onComplete(owner_, c, fabric_.engine().now());
+  }
   cq_.push_back(c);
   fabric_.engine().wake(owner_);
 }

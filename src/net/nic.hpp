@@ -44,6 +44,7 @@
 namespace ovp::net {
 
 class Fabric;
+class WireObserver;
 
 class Nic {
  public:
@@ -119,6 +120,8 @@ class Nic {
 
   void depositCompletion(Completion c);
   void depositPacket(Packet pkt);
+  /// Tells the fabric's WireObserver (if any) about a work-request post.
+  void notifyPost(Rank dst, WorkId id, WorkType type, Bytes wire_bytes);
 
   // ---- reliability protocol (fault mode only) ----
 
@@ -188,6 +191,12 @@ class Fabric {
   /// Sum of all NICs' fault counters.
   [[nodiscard]] FaultCounters faultTotals() const;
 
+  /// Installs a passive tap on NIC activity (see net/observer.hpp); null
+  /// detaches.  Not owned; must outlive the run.  With no observer set the
+  /// fabric's behaviour and timing are bit-identical to before.
+  void setObserver(WireObserver* o) { observer_ = o; }
+  [[nodiscard]] WireObserver* observer() const { return observer_; }
+
  private:
   friend class Nic;
 
@@ -213,6 +222,7 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  WireObserver* observer_ = nullptr;
   bool fault_enabled_ = false;
   util::Rng fault_rng_;
   int deterministic_drops_left_ = 0;

@@ -1,0 +1,35 @@
+// Passive observer of NIC/fabric activity.
+//
+// Lets an external layer (the trace subsystem) see work-request posts,
+// completions, and the reliability protocol's retransmissions/timeouts
+// without the NIC model depending on it.  Callbacks run on the engine
+// thread (serialized with rank code by construction) at the corresponding
+// virtual time and must not mutate fabric state; they consume no virtual
+// time — NIC hardware activity costs the host nothing, matching the model.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace ovp::net {
+
+class WireObserver {
+ public:
+  virtual ~WireObserver() = default;
+
+  /// A host posted a work request on rank `src`'s NIC.
+  virtual void onPost(Rank src, Rank dst, WorkId id, WorkType type,
+                      Bytes wire_bytes, TimeNs t) = 0;
+  /// A completion landed on rank `owner`'s CQ.
+  virtual void onComplete(Rank owner, const Completion& c, TimeNs t) = 0;
+  /// Reliability protocol (fault model only): a logical transmission was
+  /// re-sent / its ack timer fired.
+  virtual void onRetransmit(Rank src, Rank dst, std::int64_t tx_seq,
+                            int attempt, Bytes wire_bytes, TimeNs t) = 0;
+  virtual void onTimeout(Rank src, std::int64_t tx_seq, int attempt,
+                         TimeNs t) = 0;
+};
+
+}  // namespace ovp::net

@@ -25,7 +25,8 @@ DurationNs Monitor::drain() {
   }
   queue_.clear();
   ++drains_;
-  return static_cast<DurationNs>(n) * cfg_.drain_cost_per_event;
+  return static_cast<DurationNs>(n) *
+         (cfg_.drain_cost_per_event + observer_cost_);
 }
 
 DurationNs Monitor::callEnter(TimeNs t) {

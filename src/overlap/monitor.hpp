@@ -106,10 +106,21 @@ class Monitor {
 
   /// Installs a tap that sees every event, in order, as the queue drains
   /// through the Processor (i.e. at data-processing time, paper Fig. 2).
-  /// Used by analysis::StreamVerifier; runs in zero virtual time.  Install
+  /// Used by analysis::StreamVerifier and the trace collector.  Install
   /// before the first drain to observe the complete stream.
-  void setEventObserver(std::function<void(const Event&)> observer) {
+  /// `per_event_cost` is charged (on top of drain_cost_per_event) for every
+  /// observed event — zero for pure checkers, non-zero for observers that
+  /// do real work per event (e.g. trace-ring appends), so the framework's
+  /// self-measured overhead stays honest.
+  void setEventObserver(std::function<void(const Event&)> observer,
+                        DurationNs per_event_cost = 0) {
     observer_ = std::move(observer);
+    observer_cost_ = observer_ ? per_event_cost : 0;
+  }
+
+  /// Resolves a SECTION_BEGIN event's interned section id to its name.
+  [[nodiscard]] std::string_view sectionName(SectionId id) const {
+    return processor_.sectionName(id);
   }
 
  private:
@@ -122,6 +133,7 @@ class Monitor {
   util::RingBuffer<Event> queue_;
   Processor processor_;
   std::function<void(const Event&)> observer_;
+  DurationNs observer_cost_ = 0;
   bool enabled_ = true;
   bool finalized_ = false;
   int call_depth_ = 0;

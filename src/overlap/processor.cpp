@@ -24,6 +24,11 @@ SectionId Processor::internSection(std::string_view name) {
   return id;
 }
 
+std::string_view Processor::sectionName(SectionId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= sections_.size()) return {};
+  return sections_[static_cast<std::size_t>(id)].name;
+}
+
 std::vector<SectionId> Processor::currentSections() const {
   std::vector<SectionId> ids;
   ids.reserve(section_stack_.size() + 1);

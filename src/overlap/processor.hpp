@@ -34,6 +34,10 @@ class Processor {
   /// same id.  Id 0 is the whole-run pseudo-section.
   SectionId internSection(std::string_view name);
 
+  /// Name of an interned section ("" for an unknown id).  Lets event
+  /// observers resolve the section ids carried by SECTION_BEGIN events.
+  [[nodiscard]] std::string_view sectionName(SectionId id) const;
+
   /// Feeds one event.  Events must arrive in non-decreasing time order.
   void consume(const Event& e);
 

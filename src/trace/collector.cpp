@@ -1,0 +1,78 @@
+#include "trace/collector.hpp"
+
+#include <algorithm>
+
+namespace ovp::trace {
+
+namespace {
+
+RecordKind kindOf(overlap::EventType t) {
+  switch (t) {
+    case overlap::EventType::CallEnter: return RecordKind::CallEnter;
+    case overlap::EventType::CallExit: return RecordKind::CallExit;
+    case overlap::EventType::XferBegin: return RecordKind::XferBegin;
+    case overlap::EventType::XferEnd: return RecordKind::XferEnd;
+    case overlap::EventType::SectionBegin: return RecordKind::SectionBegin;
+    case overlap::EventType::SectionEnd: return RecordKind::SectionEnd;
+    case overlap::EventType::Disable: return RecordKind::Disable;
+    case overlap::EventType::Enable: return RecordKind::Enable;
+  }
+  return RecordKind::CallEnter;
+}
+
+}  // namespace
+
+Collector::Collector(CollectorConfig cfg, int nranks) : cfg_(cfg) {
+  rings_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) rings_.emplace_back(cfg_.ring_capacity);
+  end_times_.assign(static_cast<std::size_t>(nranks), 0);
+  section_names_.resize(static_cast<std::size_t>(nranks));
+}
+
+void Collector::onMonitorEvent(Rank r, const overlap::Event& e) {
+  Record rec;
+  rec.kind = kindOf(e.type);
+  rec.rank = r;
+  rec.time = e.time;
+  rec.id = e.id;
+  rec.bytes = e.size;
+  push(r, rec);
+}
+
+void Collector::noteSectionName(Rank r, std::int64_t id,
+                                std::string_view name) {
+  auto& names = section_names_[static_cast<std::size_t>(r)];
+  names.emplace(id, std::string(name));
+}
+
+std::string_view Collector::sectionName(Rank r, std::int64_t id) const {
+  const auto& names = section_names_[static_cast<std::size_t>(r)];
+  const auto it = names.find(id);
+  return it == names.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+TimeNs Collector::jobEndTime() const {
+  TimeNs end = 0;
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    end = std::max(end, end_times_[r]);
+    const TraceRing& ring = rings_[r];
+    if (ring.size() > 0) end = std::max(end, ring.at(ring.size() - 1).time);
+  }
+  return end;
+}
+
+std::int64_t Collector::recordedTotal() const {
+  std::int64_t n = 0;
+  for (const TraceRing& ring : rings_) {
+    n += static_cast<std::int64_t>(ring.size());
+  }
+  return n;
+}
+
+std::int64_t Collector::droppedTotal() const {
+  std::int64_t n = 0;
+  for (const TraceRing& ring : rings_) n += ring.dropped();
+  return n;
+}
+
+}  // namespace ovp::trace

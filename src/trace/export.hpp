@@ -1,0 +1,30 @@
+// Trace exporters.
+//
+// Chrome trace-event JSON: loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.  One process per rank; per-rank tracks for
+// communication calls, data transfers, user computation, NIC activity
+// (incl. retransmissions under the fault model), monitored sections, and
+// matching-derived wait intervals (late-sender / late-receiver); plus a
+// synthetic "cluster" process carrying the cross-rank critical path.  All
+// numbers are formatted from integers (timestamps as fixed-point
+// microseconds), so output is bit-identical across same-seed reruns.
+//
+// CSV: one line per retained record, every field, lossless — the archival
+// form the JSON view can always be regenerated from.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/collector.hpp"
+
+namespace ovp::trace {
+
+void writeChromeJson(const Collector& c, std::ostream& os);
+[[nodiscard]] bool writeChromeJsonFile(const Collector& c,
+                                       const std::string& path);
+
+void writeCsv(const Collector& c, std::ostream& os);
+[[nodiscard]] bool writeCsvFile(const Collector& c, const std::string& path);
+
+}  // namespace ovp::trace

@@ -1,0 +1,68 @@
+// NetTap: net::WireObserver adapter feeding NIC activity into the trace
+// rings.  Records are pushed at the event's virtual time with no host cost
+// (NIC hardware activity consumes no host cycles in the model, so charging
+// any here would distort the very timings being traced).
+#pragma once
+
+#include "net/observer.hpp"
+#include "trace/collector.hpp"
+
+namespace ovp::trace {
+
+class NetTap final : public net::WireObserver {
+ public:
+  explicit NetTap(Collector& c) : c_(c) {}
+
+  void onPost(Rank src, Rank dst, net::WorkId id, net::WorkType type,
+              Bytes wire_bytes, TimeNs t) override {
+    Record r;
+    r.kind = RecordKind::NicPost;
+    r.aux = static_cast<std::uint8_t>(type);
+    r.rank = src;
+    r.peer = dst;
+    r.time = t;
+    r.id = id;
+    r.bytes = wire_bytes;
+    c_.push(src, r);
+  }
+
+  void onComplete(Rank owner, const net::Completion& c, TimeNs t) override {
+    Record r;
+    r.kind = RecordKind::NicComplete;
+    r.aux = static_cast<std::uint8_t>(c.type);
+    r.tag = static_cast<std::int32_t>(c.status);
+    r.rank = owner;
+    r.time = t;
+    r.id = c.id;
+    c_.push(owner, r);
+  }
+
+  void onRetransmit(Rank src, Rank dst, std::int64_t tx_seq, int attempt,
+                    Bytes wire_bytes, TimeNs t) override {
+    Record r;
+    r.kind = RecordKind::NicRetransmit;
+    r.tag = attempt;
+    r.rank = src;
+    r.peer = dst;
+    r.time = t;
+    r.id = tx_seq;
+    r.bytes = wire_bytes;
+    c_.push(src, r);
+  }
+
+  void onTimeout(Rank src, std::int64_t tx_seq, int attempt,
+                 TimeNs t) override {
+    Record r;
+    r.kind = RecordKind::NicTimeout;
+    r.tag = attempt;
+    r.rank = src;
+    r.time = t;
+    r.id = tx_seq;
+    c_.push(src, r);
+  }
+
+ private:
+  Collector& c_;
+};
+
+}  // namespace ovp::trace

@@ -1,0 +1,87 @@
+// Time-resolved trace record model (extension of the paper's framework).
+//
+// The paper's framework deliberately keeps no trace ("no tracing, no
+// inter-process communication", Sec. 2.4): it can say HOW MUCH overlap a run
+// achieved but not WHEN it was lost or WHICH rank caused it.  src/trace is
+// the bounded-footprint middle ground: a fixed-capacity per-rank ring of
+// fixed-size binary records — the same statically allocated, drop-accounted
+// shape as the framework's event queue — fed from three sources:
+//
+//   * the overlap Monitor's event stream (CALL/XFER/SECTION/DISABLE events,
+//     observed at queue-drain time, timestamps preserved);
+//   * the PERUSE-style library hooks (send/recv posts and receiver-side
+//     matches, which give the cross-rank message edges);
+//   * the NIC (work-request post/completion and, under the fault model,
+//     retransmissions and ack timeouts).
+//
+// Records are fixed-size PODs so the ring never allocates after
+// construction and the per-record logging cost is a constant that can be
+// charged in virtual time (keeping Figure-20-style overhead claims honest).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ovp::trace {
+
+enum class RecordKind : std::uint8_t {
+  // Monitor-origin (mirror overlap::EventType, same timestamps).
+  CallEnter,
+  CallExit,
+  XferBegin,
+  XferEnd,
+  SectionBegin,
+  SectionEnd,
+  Disable,
+  Enable,
+  // Library-hook-origin (cross-rank message bookkeeping).
+  SendPost,  // a send operation was started: peer=dst, tag, bytes
+  RecvPost,  // a receive was posted: peer=src (may be any), tag, bytes
+  Match,     // an incoming message matched a receive: peer=src, tag, bytes
+  // NIC-origin (work requests and the reliability protocol).
+  NicPost,        // id=work id, aux=WorkType, peer=dst/target, bytes=wire
+  NicComplete,    // id=work id, aux=WorkType, tag=status (0 Ok, 1 exhausted)
+  NicRetransmit,  // id=tx seq, tag=attempt, peer=dst, bytes=wire
+  NicTimeout,     // id=tx seq, tag=attempt
+};
+
+[[nodiscard]] constexpr const char* recordKindName(RecordKind k) {
+  switch (k) {
+    case RecordKind::CallEnter: return "CALL_ENTER";
+    case RecordKind::CallExit: return "CALL_EXIT";
+    case RecordKind::XferBegin: return "XFER_BEGIN";
+    case RecordKind::XferEnd: return "XFER_END";
+    case RecordKind::SectionBegin: return "SECTION_BEGIN";
+    case RecordKind::SectionEnd: return "SECTION_END";
+    case RecordKind::Disable: return "DISABLE";
+    case RecordKind::Enable: return "ENABLE";
+    case RecordKind::SendPost: return "SEND_POST";
+    case RecordKind::RecvPost: return "RECV_POST";
+    case RecordKind::Match: return "MATCH";
+    case RecordKind::NicPost: return "NIC_POST";
+    case RecordKind::NicComplete: return "NIC_COMPLETE";
+    case RecordKind::NicRetransmit: return "NIC_RETRANSMIT";
+    case RecordKind::NicTimeout: return "NIC_TIMEOUT";
+  }
+  return "?";
+}
+
+/// One fixed-size trace record.  Field meaning is kind-specific (see the
+/// enum comments); unused fields stay at their defaults so the binary CSV
+/// export is lossless.
+struct Record {
+  RecordKind kind = RecordKind::CallEnter;
+  /// Kind-specific discriminator: net::WorkType for NIC records.
+  std::uint8_t aux = 0;
+  /// Message tag / completion status / retransmission attempt.
+  std::int32_t tag = 0;
+  Rank rank = -1;  // owning rank (redundant per-ring, kept for merges)
+  Rank peer = -1;  // other endpoint, -1 when not applicable
+  TimeNs time = 0;
+  /// Transfer id / interned section id / NIC work id / reliable tx seq.
+  std::int64_t id = 0;
+  Bytes bytes = 0;
+};
+
+}  // namespace ovp::trace

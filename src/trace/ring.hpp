@@ -1,0 +1,45 @@
+// Fixed-capacity trace ring with explicit drop accounting.
+//
+// Same shape as the framework's event queue (util::RingBuffer, statically
+// sized, no allocation after construction), but never drained: the ring IS
+// the retained trace.  When it fills, new records are dropped and counted
+// (keep-oldest policy), so the retained trace is always an exact, gapless
+// prefix of the run — which is what lets the time-resolved analysis pass
+// replay it with the Processor's own state machine and still reconcile
+// against the summary report.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace ovp::trace {
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : buf_(capacity) {}
+
+  /// Appends a record; when the ring is full the record is dropped (and
+  /// counted) instead.  Returns whether the record was retained.
+  bool push(const Record& r) {
+    if (buf_.full()) {
+      ++dropped_;
+      return false;
+    }
+    buf_.push(r);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return buf_.capacity(); }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  /// i-th record in push order (0 = oldest retained).
+  [[nodiscard]] const Record& at(std::size_t i) const { return buf_.at(i); }
+
+ private:
+  util::RingBuffer<Record> buf_;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace ovp::trace

@@ -7,19 +7,51 @@
 
 namespace ovp::util {
 
+namespace {
+
+/// The complete framework-wide flag set.  Binary-specific flags are free
+/// form, but --ovprof-* is reserved: anything not listed here is a typo.
+constexpr std::string_view kKnownOvprofFlags[] = {
+    "ovprof-verify", "ovprof-fault",        "ovprof-trace",
+    "ovprof-trace-capacity", "ovprof-trace-window",
+};
+
+bool knownOvprofFlag(std::string_view name) {
+  for (const std::string_view known : kKnownOvprofFlags) {
+    if (name == known) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 bool Flags::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
+    if (arg == "-h") {
+      values_["help"] = "true";
+      continue;
+    }
     if (!startsWith(arg, "--")) {
       std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
       return false;
     }
     arg.remove_prefix(2);
     const std::size_t eq = arg.find('=');
+    const std::string_view name =
+        eq == std::string_view::npos ? arg : arg.substr(0, eq);
+    if (startsWith(name, "ovprof-") && !knownOvprofFlag(name)) {
+      std::fprintf(stderr,
+                   "unknown --ovprof flag: --%.*s\n"
+                   "known framework flags:\n%s",
+                   static_cast<int>(name.size()), name.data(),
+                   ovprofHelpText());
+      return false;
+    }
     if (eq == std::string_view::npos) {
       values_[std::string(arg)] = "true";
     } else {
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      values_[std::string(name)] = std::string(arg.substr(eq + 1));
     }
   }
   return true;
@@ -65,6 +97,40 @@ std::string faultSpecRequested(const Flags& flags) {
   if (flags.has("ovprof-fault")) return flags.getString("ovprof-fault", "");
   const char* env = std::getenv("OVPROF_FAULT");
   return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string traceSpecRequested(const Flags& flags) {
+  if (flags.has("ovprof-trace")) {
+    const std::string path = flags.getString("ovprof-trace", "");
+    // A bare --ovprof-trace parses as boolean "true"; give it a real name.
+    return path == "true" ? std::string("ovprof-trace.json") : path;
+  }
+  const char* env = std::getenv("OVPROF_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+bool helpRequested(const Flags& flags) {
+  return flags.getBool("help", false);
+}
+
+const char* ovprofHelpText() {
+  return
+      "  --ovprof-verify[=0|1]        attach the analysis layer (event-stream\n"
+      "                               verifier + library-misuse checker) to\n"
+      "                               every rank; also: OVPROF_VERIFY=1\n"
+      "  --ovprof-fault=SPEC          inject fabric faults; SPEC is e.g.\n"
+      "                               drop=0.05,jitter=2000,seed=7 (a bare\n"
+      "                               number means drop=N); also: OVPROF_FAULT\n"
+      "  --ovprof-trace=FILE          write an always-on event trace: Chrome\n"
+      "                               trace-event JSON to FILE (load in\n"
+      "                               Perfetto / chrome://tracing) and a\n"
+      "                               lossless CSV to FILE.csv; also:\n"
+      "                               OVPROF_TRACE=FILE\n"
+      "  --ovprof-trace-capacity=N    per-rank trace ring capacity in records\n"
+      "                               (default 524288; overflow drops newest\n"
+      "                               records and is counted)\n"
+      "  --ovprof-trace-window=NS     time-resolved analysis window in\n"
+      "                               virtual ns (default 1000000)\n";
 }
 
 }  // namespace ovp::util

@@ -13,7 +13,9 @@ namespace ovp::util {
 class Flags {
  public:
   /// Parses argv of the form --name=value or --name (boolean true).
-  /// Unrecognized positional arguments are an error (returns false).
+  /// Unrecognized positional arguments are an error (returns false), as is
+  /// any --ovprof-* flag outside the framework's documented set (a typo like
+  /// --ovprof-tracing would otherwise silently run without tracing).
   [[nodiscard]] bool parse(int argc, char** argv);
 
   [[nodiscard]] std::int64_t getInt(std::string_view name,
@@ -40,5 +42,19 @@ class Flags {
 /// is net::FaultModel::parse's ("drop=0.05,jitter=2000,seed=7", a bare
 /// number meaning drop=<number>).
 [[nodiscard]] std::string faultSpecRequested(const Flags& flags);
+
+/// Standard switch for always-on tracing: the output path from
+/// --ovprof-trace=FILE, or from the OVPROF_TRACE environment variable when
+/// the flag is absent; empty string when neither is set.  The binary writes
+/// a Chrome trace-event JSON to FILE and a lossless CSV to FILE.csv.
+[[nodiscard]] std::string traceSpecRequested(const Flags& flags);
+
+/// True when --help (or -h as the sole positional-looking argument) was
+/// passed.  parse() accepts "-h" specially for this.
+[[nodiscard]] bool helpRequested(const Flags& flags);
+
+/// One paragraph describing the framework-wide --ovprof-* flags, for the
+/// --help text of any bench/example binary.
+[[nodiscard]] const char* ovprofHelpText();
 
 }  // namespace ovp::util

@@ -26,10 +26,19 @@
 // are printed.  Tracing costs virtual time (it is charged per record, like
 // the monitor's own overhead), so traced and untraced timings differ — by
 // design, not by accident.
+//
+// --ovprof-lint (or OVPROF_LINT=1) runs the offline cross-rank lint over the
+// collected trace in-process after the run: RMA race detection, wait-for
+// deadlock/stall analysis, and the overlap advisor.  Implies trace
+// collection (no file is written unless --ovprof-trace is also given).
+// --ovprof-lint-json=FILE additionally writes the findings as JSON.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+
+#include "analysis/lint.hpp"
 
 #include "nas/bt.hpp"
 #include "net/fault.hpp"
@@ -91,7 +100,9 @@ int main(int argc, char** argv) {
   const std::string trace_path = util::traceSpecRequested(flags);
   const DurationNs trace_window =
       flags.getInt("ovprof-trace-window", 1'000'000);
-  if (!trace_path.empty()) {
+  const bool lint = util::lintRequested(flags);
+  const std::string lint_json = util::lintJsonPathRequested(flags);
+  if (!trace_path.empty() || lint) {
     params.trace.enabled = true;
     params.trace.ring_capacity = static_cast<std::size_t>(flags.getInt(
         "ovprof-trace-capacity",
@@ -161,7 +172,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(faults.retry_exhausted));
   }
 
-  if (result.trace) {
+  if (result.trace && !trace_path.empty()) {
     const trace::Collector& tc = *result.trace;
     if (!trace::writeChromeJsonFile(tc, trace_path)) {
       std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
@@ -277,6 +288,26 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  bool lint_failed = false;
+  if (lint) {
+    if (!result.trace) {
+      std::fprintf(stderr, "--ovprof-lint: no trace was collected\n");
+      return 2;
+    }
+    const analysis::LintResult lr = analysis::runLint(*result.trace);
+    analysis::printLintText(lr, std::cout);
+    if (!lint_json.empty()) {
+      std::ofstream os(lint_json, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "failed to write %s\n", lint_json.c_str());
+        return 2;
+      }
+      analysis::writeDiagnosticsJson(lr.diagnostics, os);
+      std::printf("lint json:  %s\n", lint_json.c_str());
+    }
+    lint_failed = !lr.clean();
+  }
+
   const std::string reports = flags.getString("reports", "");
   if (!reports.empty()) {
     for (const overlap::Report& r : result.reports) {
@@ -296,5 +327,6 @@ int main(int argc, char** argv) {
                 analysis::clean(result.diagnostics) ? "clean" : "NOT CLEAN");
     if (!analysis::clean(result.diagnostics)) return 1;
   }
+  if (lint_failed) return 1;
   return result.verified ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "nas/sp.hpp"
 #include "trace/export.hpp"
 #include "util/flags.hpp"
@@ -26,11 +27,14 @@ inline void runSpFigure(const char* figure, const char* description,
         "usage: %s [--iterations=N] [--csv]\n"
         "With --ovprof-trace=FILE each of the six configurations writes its\n"
         "own Chrome trace to FILE.p<procs>.<variant>.json (+ .csv).\n"
+        "With --ovprof-lint each configuration's trace is linted in-process\n"
+        "(findings above note level fail the run).\n"
         "framework flags:\n%s",
         figure, util::ovprofHelpText());
     std::exit(0);
   }
   const std::string trace_path = util::traceSpecRequested(flags);
+  const bool lint = util::lintRequested(flags);
   std::printf("=== %s ===\n%s\nlibrary: %s\n\n", figure, description,
               mpi::presetName(mpi::Preset::Mvapich2));
   util::TextTable table({"class", "procs", "variant", "verified", "min_pct",
@@ -45,9 +49,9 @@ inline void runSpFigure(const char* figure, const char* description,
       if (flags.has("iterations")) {
         params.iterations = static_cast<int>(flags.getInt("iterations", 0));
       }
-      if (!trace_path.empty()) params.trace.enabled = true;
+      if (!trace_path.empty() || lint) params.trace.enabled = true;
       const nas::NasResult r = nas::runSp(params);
-      if (r.trace) {
+      if (r.trace && !trace_path.empty()) {
         const std::string base = trace_path + ".p" + std::to_string(p) + "." +
                                  (modified ? "modified" : "original") +
                                  ".json";
@@ -56,6 +60,11 @@ inline void runSpFigure(const char* figure, const char* description,
           std::fprintf(stderr, "failed to write %s\n", base.c_str());
           std::exit(1);
         }
+      }
+      if (lint && r.trace) {
+        const analysis::LintResult lr = analysis::runLint(*r.trace);
+        analysis::printLintText(lr, std::cout);
+        if (!lr.clean()) std::exit(1);
       }
       const overlap::OverlapAccum acc =
           section_scope ? nas::aggregateSection(r.reports, "solve-overlap")

@@ -1,0 +1,44 @@
+// Overlap advisor: schedule anti-patterns the paper's bounds make
+// quantifiable, each with an estimated recoverable overlap from the
+// a-priori transfer table (xfer_time(size), the same table the runtime
+// bounds use) and a fix-it hint.
+//
+// All findings are Note severity on purpose: an anti-pattern costs
+// performance, not correctness, and a clean-run gate (exit code, CI) must
+// not trip on advice.  Ranking still surfaces the biggest wins first via
+// the per-finding gain estimate.
+//
+// Heuristics (T = xfer_time(bytes), per transfer):
+//   * SERIALIZED_TRANSFER — XFER_BEGIN and XFER_END inside the same library
+//     call: the transfer was fully synchronous, nothing could overlap.
+//     Recoverable gain ~= min(T, time spent in the call after BEGIN) if the
+//     operation were split into post + wait with computation between.
+//   * EARLY_WAIT — the completing call blocked for at least a quarter of T
+//     (and above an absolute floor): the wait was entered while most of the
+//     wire time was still ahead.  Gain = the blocked span; moving
+//     computation before the wait reclaims it.
+//   * LATE_WAIT — the transfer was retired at least 2T after it began while
+//     blocking almost nothing: the wire finished long before anyone looked.
+//     Gain 0 (overlap was achieved); reported because the slack means the
+//     completion could be consumed earlier, e.g. to free the buffer.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "trace/collector.hpp"
+
+namespace ovp::analysis {
+
+struct AdvisorConfig {
+  /// Absolute floor for EARLY_WAIT's blocked span (filters noise on tiny
+  /// transfers whose T is comparable to call overhead).
+  DurationNs early_wait_floor = 2 * 1000;  // 2 us
+  /// LATE_WAIT fires at elapsed >= late_wait_factor * T.
+  double late_wait_factor = 2.0;
+};
+
+[[nodiscard]] std::vector<Diagnostic> adviseOverlap(
+    const trace::Collector& c, const AdvisorConfig& cfg = {});
+
+}  // namespace ovp::analysis

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -51,22 +52,46 @@ enum class DiagCode : std::uint8_t {
   SendBufferReuse,        // buffer aliased by an in-flight opposite-direction op
   RecvBufferOverlap,      // two posted receives target overlapping bytes
   SectionMismatch,        // section end without begin / open at finalize
+  // ---- offline lint (cross-rank trace analysis) ----
+  RmaRace,                // conflicting RMA accesses unordered by sync
+  DeadlockCycle,          // cycle in the cross-rank wait-for graph
+  BlockingChain,          // near-cycle: head-of-line blocking chain
+  SerializedTransfer,     // XFER begins and ends inside one blocking call
+  EarlyWait,              // wait entered long before the transfer finished
+  LateWait,               // completion retired long after the wire was done
+  TraceIncomplete,        // dropped/missing records limited the analysis
 };
 
 [[nodiscard]] const char* severityName(Severity s);
 [[nodiscard]] const char* diagCodeName(DiagCode c);
 
-/// One finding.  `event`/`event_index` are set only for stream-level
+/// One finding, shared by every checker (StreamVerifier, UsageChecker, the
+/// offline lint passes).  Location is the (rank, virtual-time, call-site)
+/// triple; `event`/`event_index` are additionally set for stream-level
 /// diagnostics (event_index is the 0-based position in the rank's drained
 /// event sequence).
 struct Diagnostic {
   Severity severity = Severity::Error;
   DiagCode code = DiagCode::TimeRegression;
   Rank rank = -1;
+  /// Virtual time the finding anchors to; -1 when unknown (e.g. finalize
+  /// summaries).
+  TimeNs time = -1;
+  /// Call-site / section context ("ARMCI_NbPut", "mg.resid", ...); empty
+  /// when unknown.
+  std::string site;
   std::int64_t event_index = -1;
   bool has_event = false;
   overlap::Event event{};
   std::string detail;
+  /// Advisor findings: estimated recoverable overlap in virtual ns (what
+  /// fixing this would buy, from xfer_time(size)); 0 when not applicable.
+  DurationNs gain = 0;
+  /// Multiplicity after dedup: how many raw findings this one stands for.
+  std::int64_t count = 1;
+  /// Dedup key: findings with the same (code, group) collapse into one
+  /// (gains and counts summed).  Empty = never merged.
+  std::string group;
 
   /// "error[XFER_END_UNKNOWN_ID] rank 2 event #17 (XFER_END t=120 id=9): ..."
   [[nodiscard]] std::string toString() const;
@@ -76,5 +101,25 @@ struct Diagnostic {
 /// end states (e.g. transfers finalize closes as case 3) and must not fail
 /// a run.
 [[nodiscard]] bool clean(const std::vector<Diagnostic>& diags);
+
+/// Collapses repeated findings: diagnostics sharing (code, group) — group
+/// non-empty — merge into the first exemplar with `count` and `gain`
+/// accumulated.  Relative order of surviving diagnostics is preserved.
+[[nodiscard]] std::vector<Diagnostic> dedupDiagnostics(
+    std::vector<Diagnostic> diags);
+
+/// Deterministic ranking: severity desc, gain desc, rank asc, time asc,
+/// code asc, detail asc.  Stable, so equal keys keep insertion order.
+void sortDiagnostics(std::vector<Diagnostic>& diags);
+
+/// Shared process exit code: 0 clean (Notes allowed), 1 findings at Warning
+/// or above.  (2 is reserved for tool-level errors — unreadable trace, bad
+/// flags — and is produced by the drivers, not from diagnostics.)
+[[nodiscard]] int exitCode(const std::vector<Diagnostic>& diags);
+
+/// Machine-readable export: a deterministic JSON array (one object per
+/// diagnostic, in the given order) — the artifact CI diffs and uploads.
+void writeDiagnosticsJson(const std::vector<Diagnostic>& diags,
+                          std::ostream& os);
 
 }  // namespace ovp::analysis

@@ -1,0 +1,80 @@
+// Static interval index: which stored [lo, hi) intervals overlap a query?
+//
+// The race detector asks this for every RMA access against every other
+// access to the same (target, segment), so the naive all-pairs scan is
+// quadratic in accesses per segment.  This is the standard augmented-BST
+// interval tree, laid out implicitly over the lo-sorted interval array
+// (root = midpoint, children = halves) with a max-endpoint per subtree:
+// queries prune any subtree whose max hi can't reach the query's lo and any
+// right half whose los start past the query's hi, giving O(log n + k).
+//
+// Build once, then query; intervals are half-open and never merged, each
+// carrying an opaque payload index back into the caller's table.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ovp::analysis {
+
+class IntervalIndex {
+ public:
+  void add(std::int64_t lo, std::int64_t hi, std::size_t payload) {
+    built_ = false;
+    v_.push_back({lo, hi, payload});
+  }
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+
+  void build() {
+    std::sort(v_.begin(), v_.end(), [](const Node& a, const Node& b) {
+      if (a.lo != b.lo) return a.lo < b.lo;
+      if (a.hi != b.hi) return a.hi < b.hi;
+      return a.payload < b.payload;
+    });
+    maxhi_.assign(v_.size(), 0);
+    if (!v_.empty()) buildMax(0, v_.size());
+    built_ = true;
+  }
+
+  /// Calls f(payload) for every stored interval overlapping [lo, hi).
+  /// Visit order is deterministic (lo, hi, payload).
+  template <typename F>
+  void query(std::int64_t lo, std::int64_t hi, F&& f) const {
+    if (built_ && !v_.empty() && lo < hi) queryRange(0, v_.size(), lo, hi, f);
+  }
+
+ private:
+  struct Node {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::size_t payload = 0;
+  };
+
+  std::int64_t buildMax(std::size_t b, std::size_t e) {
+    const std::size_t mid = b + (e - b) / 2;
+    std::int64_t m = v_[mid].hi;
+    if (b < mid) m = std::max(m, buildMax(b, mid));
+    if (mid + 1 < e) m = std::max(m, buildMax(mid + 1, e));
+    maxhi_[mid] = m;
+    return m;
+  }
+
+  template <typename F>
+  void queryRange(std::size_t b, std::size_t e, std::int64_t lo,
+                  std::int64_t hi, F&& f) const {
+    const std::size_t mid = b + (e - b) / 2;
+    if (maxhi_[mid] <= lo) return;  // nothing in this subtree reaches lo
+    if (b < mid) queryRange(b, mid, lo, hi, f);
+    if (v_[mid].lo < hi && v_[mid].hi > lo) f(v_[mid].payload);
+    // Right half starts at los >= v_[mid].lo; skip it once those pass hi.
+    if (mid + 1 < e && v_[mid].lo < hi) queryRange(mid + 1, e, lo, hi, f);
+  }
+
+  std::vector<Node> v_;
+  std::vector<std::int64_t> maxhi_;
+  bool built_ = false;
+};
+
+}  // namespace ovp::analysis

@@ -1,0 +1,113 @@
+#include "analysis/race_detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "analysis/interval_index.hpp"
+#include "trace/record.hpp"
+
+namespace ovp::analysis {
+
+namespace {
+
+const char* opName(trace::RecordKind k) {
+  switch (k) {
+    case trace::RecordKind::RmaPut: return "put";
+    case trace::RecordKind::RmaGet: return "get";
+    case trace::RecordKind::RmaAcc: return "acc";
+    default: return "?";
+  }
+}
+
+/// settle(a) happens-before post(b)?
+bool settledBefore(const RmaAccess& a, const RmaAccess& b) {
+  return a.settled && VectorClock::ordered(a.settle_clock, a.origin,
+                                           b.post_clock);
+}
+
+}  // namespace
+
+std::vector<Diagnostic> detectRaces(const HbGraph& g,
+                                    const RaceDetectorConfig& cfg) {
+  std::vector<Diagnostic> out;
+
+  // Group accesses by (target, segment); unregistered targets are invisible.
+  std::map<std::pair<Rank, std::int32_t>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < g.accesses.size(); ++i) {
+    const RmaAccess& a = g.accesses[i];
+    if (a.segment < 0 || a.offset < 0 || a.bytes <= 0) continue;
+    groups[{a.target, a.segment}].push_back(i);
+  }
+
+  // One racing (origin, op) pair is reported once, rows collapsed.
+  using OpRef = std::pair<Rank, std::int64_t>;
+  std::set<std::pair<OpRef, OpRef>> reported;
+
+  for (const auto& [key, members] : groups) {
+    IntervalIndex index;
+    for (const std::size_t i : members) {
+      const RmaAccess& a = g.accesses[i];
+      index.add(a.offset, a.offset + a.bytes, i);
+    }
+    index.build();
+    for (const std::size_t i : members) {
+      const RmaAccess& a = g.accesses[i];
+      index.query(a.offset, a.offset + a.bytes, [&](std::size_t j) {
+        if (j <= i) return;  // each unordered pair once
+        const RmaAccess& b = g.accesses[j];
+        if (a.origin == b.origin) return;       // NIC FIFO orders these
+        if (!a.isWrite() && !b.isWrite()) return;
+        const bool both_acc = a.kind == trace::RecordKind::RmaAcc &&
+                              b.kind == trace::RecordKind::RmaAcc;
+        if (both_acc) return;  // atomic remote combine
+        if (settledBefore(a, b) || settledBefore(b, a)) return;
+        if (out.size() >= cfg.max_findings) return;
+        // Rows of the same op pair collapse to one report.  (Not
+        // std::minmax: with prvalue arguments it returns a pair of
+        // references into expired temporaries.)
+        OpRef key_lo{a.origin, a.op};
+        OpRef key_hi{b.origin, b.op};
+        if (key_hi < key_lo) std::swap(key_lo, key_hi);
+        if (!reported.insert({std::move(key_lo), std::move(key_hi)}).second) {
+          return;
+        }
+
+        const RmaAccess& first = a.post_time <= b.post_time ? a : b;
+        const RmaAccess& second = a.post_time <= b.post_time ? b : a;
+        const std::int64_t lo = std::max(first.offset, second.offset);
+        const std::int64_t hi = std::min(first.offset + first.bytes,
+                                         second.offset + second.bytes);
+        Diagnostic d;
+        d.severity = Severity::Error;
+        d.code = DiagCode::RmaRace;
+        d.rank = second.origin;  // the access that completes the race
+        d.time = second.post_time;
+        d.site = std::string("ARMCI ") + opName(second.kind);
+        d.detail =
+            std::string(opName(second.kind)) + " from rank " +
+            std::to_string(second.origin) + " (op " +
+            std::to_string(second.op) + ") races with " + opName(first.kind) +
+            " from rank " + std::to_string(first.origin) + " (op " +
+            std::to_string(first.op) + ") on rank " +
+            std::to_string(second.target) + " segment " +
+            std::to_string(second.segment) + " bytes [" + std::to_string(lo) +
+            ", " + std::to_string(hi) +
+            "); no fence/barrier orders them — synchronize the target "
+            "interval before reusing it" +
+            (g.incomplete ? " (trace incomplete: order may exist in dropped "
+                            "records)"
+                          : "");
+        out.push_back(std::move(d));
+      });
+      if (out.size() >= cfg.max_findings) break;
+    }
+    if (out.size() >= cfg.max_findings) break;
+  }
+  return out;
+}
+
+}  // namespace ovp::analysis

@@ -1,0 +1,38 @@
+// One-sided data-race detector over the happens-before graph.
+//
+// A pair of RMA accesses races when all of:
+//   * different origin ranks (same-origin operations are delivered in
+//     order by the simulated NIC's FIFO work queue, so program order
+//     settles them);
+//   * same target rank and registered segment, byte intervals overlap
+//     (interval-tree lookup per (target, segment) group);
+//   * at least one is a write — put or accumulate; an acc-acc pair is
+//     exempt because accumulates combine atomically at the target;
+//   * neither access's *settle* (its origin-side RMA_COMPLETE) happens-
+//     before the other's post under the vector-clock order.  Origin-side
+//     completion is this simulator's remote-placement proxy: the MG-style
+//     fence-then-barrier idiom retires every op inside the fence, so the
+//     barrier join carries the settle into every other rank's clock.
+//
+// Accesses against unregistered target memory (segment -1) are invisible
+// here — the trace cannot name their byte intervals.  The runtime
+// UsageChecker cannot perform any of this: it sees exactly one rank.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/hb_graph.hpp"
+
+namespace ovp::analysis {
+
+struct RaceDetectorConfig {
+  /// Stop after this many distinct racing pairs (a systematically racy
+  /// schedule would otherwise produce quadratic output).
+  std::size_t max_findings = 64;
+};
+
+[[nodiscard]] std::vector<Diagnostic> detectRaces(
+    const HbGraph& g, const RaceDetectorConfig& cfg = {});
+
+}  // namespace ovp::analysis

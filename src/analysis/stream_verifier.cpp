@@ -24,6 +24,10 @@ void StreamVerifier::report(Severity sev, DiagCode code, const Event* e,
     d.has_event = true;
     d.event = *e;
     d.event_index = events_seen_;  // index of the event being consumed
+    d.time = e->time;
+    d.site = overlap::eventTypeName(e->type);
+  } else {
+    d.time = last_time_;  // end-of-stream findings anchor to the last event
   }
   diags_.push_back(std::move(d));
 }

@@ -7,13 +7,16 @@ namespace ovp::analysis {
 UsageChecker::UsageChecker(Rank rank, UsageCheckerConfig cfg)
     : cfg_(cfg), rank_(rank) {}
 
-void UsageChecker::emit(Severity sev, DiagCode code, std::string detail) {
+void UsageChecker::emit(Severity sev, DiagCode code, std::string detail,
+                        std::string_view site) {
   if (diags_.size() >= cfg_.max_diagnostics) return;
   Diagnostic d;
   d.severity = sev;
   d.code = code;
   d.rank = rank_;
   d.detail = std::move(detail);
+  d.site = std::string(site);
+  if (clock_) d.time = clock_();
   diags_.push_back(std::move(d));
 }
 
@@ -31,7 +34,8 @@ void UsageChecker::onRequestPosted(std::uint64_t uid, bool is_send,
       emit(Severity::Error,
            both_recv ? DiagCode::RecvBufferOverlap : DiagCode::SendBufferReuse,
            std::string(api) + " buffer overlaps the buffer of in-flight " +
-               r.api + " (request #" + std::to_string(r.uid) + ')');
+               r.api + " (request #" + std::to_string(r.uid) + ')',
+           api);
       break;  // one finding per post is enough
     }
   }
@@ -52,7 +56,8 @@ void UsageChecker::onRequestConsumed(std::uint64_t uid) {
 
 void UsageChecker::onWaitInactive(std::string_view api) {
   emit(Severity::Warning, DiagCode::DoubleWait,
-       std::string(api) + " on an inactive request handle (double wait?)");
+       std::string(api) + " on an inactive request handle (double wait?)",
+       api);
 }
 
 void UsageChecker::onSectionBegin() { ++section_depth_; }
@@ -60,7 +65,7 @@ void UsageChecker::onSectionBegin() { ++section_depth_; }
 void UsageChecker::onSectionEnd(std::string_view api) {
   if (section_depth_ == 0) {
     emit(Severity::Error, DiagCode::SectionMismatch,
-         std::string(api) + " without a matching section begin");
+         std::string(api) + " without a matching section begin", api);
   } else {
     --section_depth_;
   }
@@ -72,12 +77,14 @@ void UsageChecker::onFinalize(std::string_view api) {
   for (const LiveReq& r : live_) {
     emit(Severity::Warning, DiagCode::RequestLeak,
          r.api + " request #" + std::to_string(r.uid) +
-             " never waited/tested before " + std::string(api));
+             " never waited/tested before " + std::string(api),
+         r.api);
   }
   if (section_depth_ > 0) {
     emit(Severity::Warning, DiagCode::SectionMismatch,
          std::to_string(section_depth_) + " section(s) still open at " +
-             std::string(api));
+             std::string(api),
+         api);
   }
 }
 

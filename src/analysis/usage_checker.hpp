@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,11 @@ struct UsageCheckerConfig {
 class UsageChecker {
  public:
   explicit UsageChecker(Rank rank, UsageCheckerConfig cfg = {});
+
+  /// Installs a virtual-clock source so findings carry the time they were
+  /// detected at (the machine wires the rank context's now()).  Optional;
+  /// without it diagnostics keep time = -1.
+  void setClock(std::function<TimeNs()> clock) { clock_ = std::move(clock); }
 
   // ---- nonblocking-request lifecycle (MPI isend/irecv, ARMCI nb ops) ----
 
@@ -62,8 +68,10 @@ class UsageChecker {
   /// section left open.  Idempotent.
   void onFinalize(std::string_view api);
 
-  /// Free-form finding from the library itself.
-  void emit(Severity sev, DiagCode code, std::string detail);
+  /// Free-form finding from the library itself.  `site` is the API name the
+  /// finding is anchored to (the diagnostic's call-site field).
+  void emit(Severity sev, DiagCode code, std::string detail,
+            std::string_view site = {});
 
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
@@ -84,6 +92,7 @@ class UsageChecker {
 
   UsageCheckerConfig cfg_;
   Rank rank_;
+  std::function<TimeNs()> clock_;
   std::vector<LiveReq> live_;
   std::vector<Diagnostic> diags_;
   int section_depth_ = 0;

@@ -1,0 +1,49 @@
+// Vector clocks for the offline happens-before analysis.
+//
+// One logical-clock component per rank; each trace record ticks its owning
+// rank's component, and cross-rank synchronization (message matches, barrier
+// epochs) joins clocks component-wise.  The classic result then gives the
+// happens-before test the race detector needs: an event A owned by rank `ra`
+// with clock snapshot VA happens-before an event with snapshot VB iff
+// VB[ra] >= VA[ra] — B's causal past already contains A's tick.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ovp::analysis {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(int nranks)
+      : c_(static_cast<std::size_t>(nranks), 0) {}
+
+  void tick(Rank r) { ++c_[static_cast<std::size_t>(r)]; }
+
+  void join(const VectorClock& o) {
+    for (std::size_t i = 0; i < c_.size() && i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  [[nodiscard]] std::int64_t at(Rank r) const {
+    return c_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int size() const { return static_cast<int>(c_.size()); }
+
+  /// Happens-before: the event that produced snapshot `a` on rank `ra`
+  /// precedes the event that produced snapshot `b`.
+  [[nodiscard]] static bool ordered(const VectorClock& a, Rank ra,
+                                    const VectorClock& b) {
+    return b.at(ra) >= a.at(ra);
+  }
+
+ private:
+  std::vector<std::int64_t> c_;
+};
+
+}  // namespace ovp::analysis

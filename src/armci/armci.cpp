@@ -50,6 +50,41 @@ void Armci::registerWork(net::WorkId wid, std::int64_t op_id) {
   work_to_op_.emplace(wid, op_id);
 }
 
+void Armci::registerLocal(const void* base, Bytes bytes) {
+  if (trace_sink_ == nullptr || base == nullptr || bytes <= 0) return;
+  trace_sink_->registerSegment(ctx_.rank(), base, bytes);
+}
+
+void Armci::traceRma(trace::RecordKind kind, std::int64_t op_id, Rank target,
+                     const void* remote, Bytes n) {
+  if (trace_sink_ == nullptr) return;
+  const trace::Collector::SegmentRef ref =
+      trace_sink_->resolveSegment(target, remote, n);
+  trace::Record rec;
+  rec.kind = kind;
+  rec.rank = ctx_.rank();
+  rec.peer = target;
+  rec.time = ctx_.now();
+  rec.id = op_id;
+  rec.bytes = n;
+  rec.tag = ref.segment;
+  rec.addr = ref.offset;
+  trace_sink_->push(ctx_.rank(), rec);
+  ctx_.advance(trace_sink_->config().record_cost);
+}
+
+void Armci::traceSync(trace::RecordKind kind, std::int64_t id, Rank peer) {
+  if (trace_sink_ == nullptr) return;
+  trace::Record rec;
+  rec.kind = kind;
+  rec.rank = ctx_.rank();
+  rec.peer = peer;
+  rec.time = ctx_.now();
+  rec.id = id;
+  trace_sink_->push(ctx_.rank(), rec);
+  ctx_.advance(trace_sink_->config().record_cost);
+}
+
 void Armci::progress() {
   const net::FabricParams& p = fabric_.params();
   net::Completion c;
@@ -72,6 +107,8 @@ void Armci::progress() {
         if (monitor_) ctx_.advance(monitor_->xferEnd(ctx_.now(), xit->second));
         op_xfer_.erase(xit);
       }
+      // Origin-side retirement: the settle point the race detector uses.
+      traceSync(trace::RecordKind::RmaComplete, op, -1);
     }
   }
   ctx_.advance(p.cq_poll_cost);
@@ -98,6 +135,8 @@ NbHandle Armci::postContig(bool is_put, const void* src, void* dst, Bytes n,
   }
   ctx_.advance(p.post_overhead);
   stampBeginForOp(op, n);
+  traceRma(is_put ? trace::RecordKind::RmaPut : trace::RecordKind::RmaGet, op,
+           target, is_put ? dst : src, n);
   net::WorkId wid;
   if (is_put) {
     wid = nic_.postRdmaWrite(target, src, dst, n, nullptr);
@@ -130,6 +169,10 @@ NbHandle Armci::postStrided(bool is_put, const void* src, Bytes src_stride,
   auto* d = static_cast<std::byte*>(dst);
   for (int r = 0; r < count; ++r) {
     ctx_.advance(p.post_overhead);
+    // One access record per row, all sharing the op id (rows are the
+    // remotely-touched intervals; the gaps between them are not accessed).
+    traceRma(is_put ? trace::RecordKind::RmaPut : trace::RecordKind::RmaGet,
+             op, target, is_put ? d : s, row_bytes);
     net::WorkId wid;
     if (is_put) {
       wid = nic_.postRdmaWrite(target, s, d, row_bytes, nullptr);
@@ -150,7 +193,7 @@ void Armci::put(const void* local_src, void* remote_dst, Bytes n,
   CallGuard guard(*this);
   progress();
   NbHandle h = postContig(/*is_put=*/true, local_src, remote_dst, n, target);
-  progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  progressUntil([&] { return !pending_.contains(h.id); });
   if (checker_ != nullptr) {
     checker_->onRequestConsumed(static_cast<std::uint64_t>(h.id));
   }
@@ -163,7 +206,7 @@ void Armci::get(const void* remote_src, void* local_dst, Bytes n,
   CallGuard guard(*this);
   progress();
   NbHandle h = postContig(/*is_put=*/false, remote_src, local_dst, n, target);
-  progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  progressUntil([&] { return !pending_.contains(h.id); });
   if (checker_ != nullptr) {
     checker_->onRequestConsumed(static_cast<std::uint64_t>(h.id));
   }
@@ -217,6 +260,7 @@ NbHandle Armci::nbAcc(const double* local_src, double* remote_dst, int count,
   }
   ctx_.advance(p.post_overhead);
   stampBeginForOp(op, bytes);
+  traceRma(trace::RecordKind::RmaAcc, op, target, remote_dst, bytes);
   const net::WorkId wid = nic_.postRdmaApply(
       target, local_src, remote_dst, bytes,
       [scale](const std::byte* staged, void* dst, Bytes n) {
@@ -255,6 +299,9 @@ std::vector<void*> Armci::collectiveMalloc(Bytes bytes) {
   auto& slot = b.allocations.back();
   slot[static_cast<std::size_t>(ctx_.rank())] =
       std::make_unique<std::byte[]>(static_cast<std::size_t>(bytes));
+  // Own slab becomes a named remote-access target before any peer can
+  // address it (the next barrier orders registration before first use).
+  registerLocal(slot[static_cast<std::size_t>(ctx_.rank())].get(), bytes);
   barrier();
   std::vector<void*> ptrs(static_cast<std::size_t>(b.nranks));
   for (int r = 0; r < b.nranks; ++r) {
@@ -269,7 +316,7 @@ void Armci::wait(NbHandle& h) {
     return;
   }
   CallGuard guard(*this);
-  progressUntil([&] { return pending_.find(h.id) == pending_.end(); });
+  progressUntil([&] { return !pending_.contains(h.id); });
   if (checker_ != nullptr) {
     checker_->onRequestConsumed(static_cast<std::uint64_t>(h.id));
   }
@@ -282,13 +329,16 @@ void Armci::waitAll() {
   if (checker_ != nullptr) checker_->onAllRequestsConsumed();
 }
 
-void Armci::fence(Rank /*target*/) {
+void Armci::fence(Rank target) {
   CallGuard guard(*this);
   progressUntil([&] { return pending_.empty(); });
   if (checker_ != nullptr) checker_->onAllRequestsConsumed();
   // Local completion means the data left this NIC; remote placement lags by
   // the wire latency.
   ctx_.advance(fabric_.params().wire_latency);
+  // Stamped at exit: everything recorded before this point is remotely
+  // placed once the fence returns.
+  traceSync(trace::RecordKind::Fence, 0, target);
 }
 
 void Armci::barrier() {
@@ -311,12 +361,17 @@ void Armci::barrier() {
         if (r != me) eng.wake(r);
       }
     });
+    // Stamped at exit (both paths): the happens-before join for epoch
+    // `my_epoch` sits after every record this rank produced inside the
+    // barrier, including completions drained while waiting.
+    traceSync(trace::RecordKind::Barrier, my_epoch, -1);
     return;
   }
   while (b.epoch == my_epoch) {
     ctx_.sleep();
     progress();  // drain any stray completions while we sit here
   }
+  traceSync(trace::RecordKind::Barrier, my_epoch, -1);
 }
 
 double Armci::allreduceSum(double value) {
@@ -367,6 +422,7 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
   }
   engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
     Armci armci(ctx, fabric, cfg_.armci, barrier);
+    if (trace_) armci.setTraceSink(trace_.get());
     std::unique_ptr<analysis::StreamVerifier> verifier;
     std::unique_ptr<analysis::UsageChecker> checker;
     if (cfg_.armci.verify) {
@@ -374,6 +430,7 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
         verifier = std::make_unique<analysis::StreamVerifier>(ctx.rank());
       }
       checker = std::make_unique<analysis::UsageChecker>(ctx.rank());
+      checker->setClock([cx = &ctx]() { return cx->now(); });
       armci.setUsageChecker(checker.get());
     }
     if (overlap::Monitor* mon = armci.monitor();

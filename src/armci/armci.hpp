@@ -142,6 +142,16 @@ class Armci {
 
   /// Attaches a library-misuse checker (not owned; may be null).
   void setUsageChecker(analysis::UsageChecker* checker) { checker_ = checker; }
+  /// Attaches the job's trace collector (not owned; may be null).  With a
+  /// sink installed the library emits RMA_PUT/GET/ACC records at post time,
+  /// RMA_COMPLETE at origin-side retirement, and FENCE/BARRIER records — the
+  /// stream the offline happens-before analysis is built from.
+  void setTraceSink(trace::Collector* sink) { trace_sink_ = sink; }
+  /// Registers rank-local memory as a remote-access target so RMA records
+  /// can name it as a stable (segment, offset) pair.  collectiveMalloc
+  /// registers its slabs automatically; call this for plain heap memory
+  /// peers will put/get/acc into.  No-op without a trace sink.
+  void registerLocal(const void* base, Bytes bytes);
   /// The per-process monitor (null when not instrumented); lets the
   /// analysis layer attach a StreamVerifier as its event observer.
   [[nodiscard]] overlap::Monitor* monitor() { return monitor_.get(); }
@@ -164,6 +174,12 @@ class Armci {
                        Rank target);
   void stampBeginForOp(std::int64_t op_id, Bytes bytes);
   void registerWork(net::WorkId wid, std::int64_t op_id);
+  /// Emits one RMA access record against `target`'s registered segments and
+  /// charges the per-record cost.  No-op without a trace sink.
+  void traceRma(trace::RecordKind kind, std::int64_t op_id, Rank target,
+                const void* remote, Bytes n);
+  /// Emits a non-access record (RmaComplete / Fence / Barrier).
+  void traceSync(trace::RecordKind kind, std::int64_t id, Rank peer);
 
   sim::Context& ctx_;
   net::Fabric& fabric_;
@@ -171,6 +187,7 @@ class Armci {
   ArmciConfig cfg_;
   std::unique_ptr<overlap::Monitor> monitor_;
   analysis::UsageChecker* checker_ = nullptr;
+  trace::Collector* trace_sink_ = nullptr;
 
   std::unordered_map<std::int64_t, PendingOp> pending_;
   std::unordered_map<net::WorkId, std::int64_t> work_to_op_;

@@ -58,6 +58,7 @@ void Machine::run(const std::function<void(Mpi&)>& rankMain) {
         verifier = std::make_unique<analysis::StreamVerifier>(ctx.rank());
       }
       checker = std::make_unique<analysis::UsageChecker>(ctx.rank());
+      checker->setClock([cx = &ctx]() { return cx->now(); });
       mpi.setUsageChecker(checker.get());
     }
     if (overlap::Monitor* mon = mpi.monitor();

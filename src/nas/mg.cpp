@@ -600,6 +600,18 @@ NasResult runMg(const MgParams& params) {
     const bool nonblocking = params.variant == MgVariant::ArmciNonBlocking;
     machine.run([&](armci::Armci& a) {
       const Rank me = a.rank();
+      // Name this rank's inbox faces as remote-access targets so the traced
+      // puts carry stable (segment, offset) intervals for the race analysis.
+      for (int l = 0; l < nlevels; ++l) {
+        for (int d = 0; d < 6; ++d) {
+          auto& in = inbox[static_cast<std::size_t>(l)]
+                          [static_cast<std::size_t>(me)]
+                          [static_cast<std::size_t>(d)];
+          a.registerLocal(in.data(),
+                          static_cast<Bytes>(in.size()) *
+                              static_cast<Bytes>(sizeof(double)));
+        }
+      }
       std::array<std::vector<double>, 6> outbuf;
       auto begin = [&](int l, std::vector<double>& field) {
         Level L;

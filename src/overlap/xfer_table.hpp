@@ -13,6 +13,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -34,6 +35,10 @@ class XferTimeTable {
 
   [[nodiscard]] std::size_t points() const { return points_.size(); }
   [[nodiscard]] bool empty() const { return points_.empty(); }
+  /// i-th calibration point in size order (for serializers).
+  [[nodiscard]] std::pair<Bytes, DurationNs> point(std::size_t i) const {
+    return {points_[i].size, points_[i].time};
+  }
 
   void save(std::ostream& os) const;
   /// Returns false on any malformed line (table left in valid state with

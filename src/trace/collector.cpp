@@ -27,6 +27,59 @@ Collector::Collector(CollectorConfig cfg, int nranks) : cfg_(cfg) {
   for (int r = 0; r < nranks; ++r) rings_.emplace_back(cfg_.ring_capacity);
   end_times_.assign(static_cast<std::size_t>(nranks), 0);
   section_names_.resize(static_cast<std::size_t>(nranks));
+  segments_.resize(static_cast<std::size_t>(nranks));
+}
+
+std::int32_t Collector::registerSegment(Rank owner, const void* base,
+                                        Bytes bytes) {
+  auto& segs = segments_[static_cast<std::size_t>(owner)];
+  const auto* b = static_cast<const std::byte*>(base);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].base == b && segs[i].bytes == bytes) {
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  segs.push_back({b, bytes});
+  return static_cast<std::int32_t>(segs.size() - 1);
+}
+
+Collector::SegmentRef Collector::resolveSegment(Rank owner, const void* p,
+                                                Bytes n) const {
+  if (owner < 0 || static_cast<std::size_t>(owner) >= segments_.size()) {
+    return {};
+  }
+  const auto& segs = segments_[static_cast<std::size_t>(owner)];
+  const auto* lo = static_cast<const std::byte*>(p);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const Segment& s = segs[i];
+    if (s.base == nullptr || lo < s.base) continue;
+    const std::int64_t off = lo - s.base;
+    if (off + n <= s.bytes) {
+      return {static_cast<std::int32_t>(i), off};
+    }
+  }
+  return {};
+}
+
+std::int32_t Collector::segmentCount(Rank owner) const {
+  if (owner < 0 || static_cast<std::size_t>(owner) >= segments_.size()) {
+    return 0;
+  }
+  return static_cast<std::int32_t>(
+      segments_[static_cast<std::size_t>(owner)].size());
+}
+
+void Collector::restoreSegment(Rank owner, Bytes bytes) {
+  segments_[static_cast<std::size_t>(owner)].push_back({nullptr, bytes});
+}
+
+Bytes Collector::segmentBytes(Rank owner, std::int32_t seg) const {
+  if (owner < 0 || static_cast<std::size_t>(owner) >= segments_.size()) {
+    return 0;
+  }
+  const auto& segs = segments_[static_cast<std::size_t>(owner)];
+  if (seg < 0 || static_cast<std::size_t>(seg) >= segs.size()) return 0;
+  return segs[static_cast<std::size_t>(seg)].bytes;
 }
 
 void Collector::onMonitorEvent(Rank r, const overlap::Event& e) {

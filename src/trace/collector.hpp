@@ -59,6 +59,11 @@ class Collector {
     rings_[static_cast<std::size_t>(r)].push(rec);
   }
 
+  /// Reader-side restore of a rank's drop counter (see TraceRing).
+  void restoreDropped(Rank r, std::int64_t n) {
+    rings_[static_cast<std::size_t>(r)].restoreDropped(n);
+  }
+
   /// Translates one Monitor event (seen by the machine's composed event
   /// observer at queue-drain time) into a Record.
   void onMonitorEvent(Rank r, const overlap::Event& e);
@@ -68,6 +73,35 @@ class Collector {
   void noteSectionName(Rank r, std::int64_t id, std::string_view name);
   /// Name for a section id; "" when never noted.
   [[nodiscard]] std::string_view sectionName(Rank r, std::int64_t id) const;
+
+  // ---- registered memory segments (one-sided race analysis) ----
+  //
+  // RMA trace records name remote bytes as (segment id, offset) pairs so the
+  // exported trace is position-independent and bit-identical across reruns.
+  // Segment ids are assigned per owning rank in registration order, which is
+  // deterministic because rank code is serialized by the engine.
+
+  /// Registers [base, base+bytes) as owned by rank `owner`; returns the
+  /// segment id.  Re-registering an identical interval returns the old id.
+  std::int32_t registerSegment(Rank owner, const void* base, Bytes bytes);
+  /// Resolves a remote interval [p, p+n) against `owner`'s segments.
+  /// Returns {segment id, offset}, or {-1, -1} when no registered segment
+  /// fully contains the interval.
+  struct SegmentRef {
+    std::int32_t segment = -1;
+    std::int64_t offset = -1;
+  };
+  [[nodiscard]] SegmentRef resolveSegment(Rank owner, const void* p,
+                                          Bytes n) const;
+  /// Number of segments registered for `owner` (reader restores this count
+  /// so segment ids in a reloaded trace keep their meaning).
+  [[nodiscard]] std::int32_t segmentCount(Rank owner) const;
+  /// Reader-side restore: declares that `owner` had `count` segments of the
+  /// given sizes (base pointers are not persisted; resolution is unavailable
+  /// on a reloaded trace, but the ids/sizes keep diagnostics meaningful).
+  void restoreSegment(Rank owner, Bytes bytes);
+  /// Size of `owner`'s segment `seg`; 0 when unknown.
+  [[nodiscard]] Bytes segmentBytes(Rank owner, std::int32_t seg) const;
 
   /// The a-priori transfer-time table the rank monitors used; the
   /// time-resolved analysis replays bounds with exactly this table.
@@ -89,10 +123,16 @@ class Collector {
   [[nodiscard]] std::int64_t droppedTotal() const;
 
  private:
+  struct Segment {
+    const std::byte* base = nullptr;  // null on reader-restored segments
+    Bytes bytes = 0;
+  };
+
   CollectorConfig cfg_;
   std::vector<TraceRing> rings_;
   std::vector<TimeNs> end_times_;
   std::vector<std::map<std::int64_t, std::string>> section_names_;
+  std::vector<std::vector<Segment>> segments_;  // indexed by owner rank
   overlap::XferTimeTable table_;
 };
 

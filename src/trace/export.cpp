@@ -239,6 +239,38 @@ void emitRank(EventSink& sink, const Collector& c, Rank r) {
         sink.instant("ack-timeout", "nic", pid, kTidNic, rec.time, args);
         break;
       }
+      case RecordKind::RmaPut:
+      case RecordKind::RmaGet:
+      case RecordKind::RmaAcc: {
+        std::string args;
+        appendf(args,
+                "\"target\":%d,\"segment\":%d,\"offset\":%" PRId64
+                ",\"bytes\":%" PRId64 ",\"op\":%" PRId64,
+                rec.peer, rec.tag, rec.addr, rec.bytes, rec.id);
+        const char* name = rec.kind == RecordKind::RmaPut   ? "rma-put"
+                           : rec.kind == RecordKind::RmaGet ? "rma-get"
+                                                            : "rma-acc";
+        sink.instant(name, "rma", pid, kTidXfers, rec.time, args);
+        break;
+      }
+      case RecordKind::RmaComplete: {
+        std::string args;
+        appendf(args, "\"op\":%" PRId64, rec.id);
+        sink.instant("rma-complete", "rma", pid, kTidXfers, rec.time, args);
+        break;
+      }
+      case RecordKind::Fence: {
+        std::string args;
+        appendf(args, "\"target\":%d", rec.peer);
+        sink.instant("fence", "rma", pid, kTidCalls, rec.time, args);
+        break;
+      }
+      case RecordKind::Barrier: {
+        std::string args;
+        appendf(args, "\"epoch\":%" PRId64, rec.id);
+        sink.instant("barrier", "comm", pid, kTidCalls, rec.time, args);
+        break;
+      }
     }
   }
   // Close whatever is still open at the rank's horizon.
@@ -313,7 +345,32 @@ bool writeChromeJsonFile(const Collector& c, const std::string& path) {
 }
 
 void writeCsv(const Collector& c, std::ostream& os) {
-  os << "rank,seq,time_ns,kind,id,peer,tag,bytes,aux,name\n";
+  // v2 header: '#'-prefixed metadata lines carry the collector state that is
+  // not per-record (ranks, horizons, xfer table, drop counters, registered
+  // segment sizes) so readCsv can rebuild a Collector the offline analyzer
+  // can run on.  Consumers that only want records skip '#' lines.
+  os << "# ovprof-trace-csv,2\n";
+  os << "# ranks," << c.nranks() << '\n';
+  for (Rank r = 0; r < c.nranks(); ++r) {
+    os << "# end_time," << r << ',' << c.endTime(r) << '\n';
+  }
+  const overlap::XferTimeTable& table = c.table();
+  for (std::size_t i = 0; i < table.points(); ++i) {
+    const auto [size, time] = table.point(i);
+    os << "# xfer_point," << size << ',' << time << '\n';
+  }
+  for (Rank r = 0; r < c.nranks(); ++r) {
+    if (c.ring(r).dropped() > 0) {
+      os << "# dropped," << r << ',' << c.ring(r).dropped() << '\n';
+    }
+  }
+  for (Rank r = 0; r < c.nranks(); ++r) {
+    for (std::int32_t s = 0; s < c.segmentCount(r); ++s) {
+      os << "# segment," << r << ',' << s << ',' << c.segmentBytes(r, s)
+         << '\n';
+    }
+  }
+  os << "rank,seq,time_ns,kind,id,peer,tag,bytes,aux,addr,name\n";
   for (Rank r = 0; r < c.nranks(); ++r) {
     const TraceRing& ring = c.ring(r);
     for (std::size_t i = 0; i < ring.size(); ++i) {
@@ -325,7 +382,8 @@ void writeCsv(const Collector& c, std::ostream& os) {
       os << r << ',' << i << ',' << rec.time << ','
          << recordKindName(rec.kind) << ',' << rec.id << ',' << rec.peer
          << ',' << rec.tag << ',' << rec.bytes << ','
-         << static_cast<int>(rec.aux) << ',' << name << '\n';
+         << static_cast<int>(rec.aux) << ',' << rec.addr << ',' << name
+         << '\n';
     }
   }
 }

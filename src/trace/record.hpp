@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/types.hpp"
 
@@ -44,6 +45,19 @@ enum class RecordKind : std::uint8_t {
   NicComplete,    // id=work id, aux=WorkType, tag=status (0 Ok, 1 exhausted)
   NicRetransmit,  // id=tx seq, tag=attempt, peer=dst, bytes=wire
   NicTimeout,     // id=tx seq, tag=attempt
+  // One-sided (ARMCI) origin: remote-memory accesses and synchronization.
+  // RMA records name the *target-side* byte interval through a registered
+  // memory segment (see Collector::registerSegment): tag = segment id in
+  // the target's registration order, addr = byte offset inside it, bytes =
+  // interval length.  tag = -1 when the target memory was never registered
+  // (the access is then invisible to the race detector).  A multi-row
+  // strided operation emits one record per row, all sharing the op id.
+  RmaPut,       // id=op id, peer=target, tag=segment, addr=offset, bytes=len
+  RmaGet,       // same fields; remote interval is read, not written
+  RmaAcc,       // same fields; atomic remote combine (acc-acc never races)
+  RmaComplete,  // id=op id; origin-side completion (ARMCI_Wait/fence retire)
+  Fence,        // peer=target (-1 = all); prior puts now remotely complete
+  Barrier,      // id=barrier epoch; full-job synchronization point
 };
 
 [[nodiscard]] constexpr const char* recordKindName(RecordKind k) {
@@ -63,8 +77,40 @@ enum class RecordKind : std::uint8_t {
     case RecordKind::NicComplete: return "NIC_COMPLETE";
     case RecordKind::NicRetransmit: return "NIC_RETRANSMIT";
     case RecordKind::NicTimeout: return "NIC_TIMEOUT";
+    case RecordKind::RmaPut: return "RMA_PUT";
+    case RecordKind::RmaGet: return "RMA_GET";
+    case RecordKind::RmaAcc: return "RMA_ACC";
+    case RecordKind::RmaComplete: return "RMA_COMPLETE";
+    case RecordKind::Fence: return "FENCE";
+    case RecordKind::Barrier: return "BARRIER";
   }
   return "?";
+}
+
+inline constexpr RecordKind kAllRecordKinds[] = {
+    RecordKind::CallEnter,     RecordKind::CallExit,
+    RecordKind::XferBegin,     RecordKind::XferEnd,
+    RecordKind::SectionBegin,  RecordKind::SectionEnd,
+    RecordKind::Disable,       RecordKind::Enable,
+    RecordKind::SendPost,      RecordKind::RecvPost,
+    RecordKind::Match,         RecordKind::NicPost,
+    RecordKind::NicComplete,   RecordKind::NicRetransmit,
+    RecordKind::NicTimeout,    RecordKind::RmaPut,
+    RecordKind::RmaGet,        RecordKind::RmaAcc,
+    RecordKind::RmaComplete,   RecordKind::Fence,
+    RecordKind::Barrier,
+};
+
+/// Inverse of recordKindName (the CSV reader's parse); false on unknown.
+[[nodiscard]] inline bool recordKindFromName(std::string_view name,
+                                             RecordKind& out) {
+  for (const RecordKind k : kAllRecordKinds) {
+    if (name == recordKindName(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// One fixed-size trace record.  Field meaning is kind-specific (see the
@@ -79,9 +125,15 @@ struct Record {
   Rank rank = -1;  // owning rank (redundant per-ring, kept for merges)
   Rank peer = -1;  // other endpoint, -1 when not applicable
   TimeNs time = 0;
-  /// Transfer id / interned section id / NIC work id / reliable tx seq.
+  /// Transfer id / interned section id / NIC work id / reliable tx seq /
+  /// RMA op id / barrier epoch.
   std::int64_t id = 0;
   Bytes bytes = 0;
+  /// RMA records: byte offset of the accessed interval inside the target's
+  /// registered segment (-1 when the target memory was never registered).
+  /// Offsets are segment-relative on purpose — raw pointers would differ
+  /// across reruns and break the exporters' bit-identical guarantee.
+  std::int64_t addr = -1;
 };
 
 }  // namespace ovp::trace

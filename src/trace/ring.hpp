@@ -34,6 +34,9 @@ class TraceRing {
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
   [[nodiscard]] std::size_t capacity() const { return buf_.capacity(); }
   [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  /// Restores a drop count when a ring is rebuilt from an exported trace
+  /// (the reader's counterpart of the "# dropped" CSV metadata line).
+  void restoreDropped(std::int64_t n) { dropped_ = n; }
   /// i-th record in push order (0 = oldest retained).
   [[nodiscard]] const Record& at(std::size_t i) const { return buf_.at(i); }
 

@@ -14,6 +14,7 @@ namespace {
 constexpr std::string_view kKnownOvprofFlags[] = {
     "ovprof-verify", "ovprof-fault",        "ovprof-trace",
     "ovprof-trace-capacity", "ovprof-trace-window",
+    "ovprof-lint", "ovprof-lint-json",
 };
 
 bool knownOvprofFlag(std::string_view name) {
@@ -84,7 +85,7 @@ bool Flags::getBool(std::string_view name, bool fallback) const {
 }
 
 bool Flags::has(std::string_view name) const {
-  return values_.find(name) != values_.end();
+  return values_.contains(name);
 }
 
 bool verifyRequested(const Flags& flags) {
@@ -109,6 +110,22 @@ std::string traceSpecRequested(const Flags& flags) {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+bool lintRequested(const Flags& flags) {
+  if (flags.has("ovprof-lint")) return flags.getBool("ovprof-lint", false);
+  const char* env = std::getenv("OVPROF_LINT");
+  return env != nullptr && env[0] != '\0' && std::string_view(env) != "0";
+}
+
+std::string lintJsonPathRequested(const Flags& flags) {
+  if (flags.has("ovprof-lint-json")) {
+    const std::string path = flags.getString("ovprof-lint-json", "");
+    // A bare --ovprof-lint-json parses as boolean "true"; give it a name.
+    return path == "true" ? std::string("ovprof-lint.json") : path;
+  }
+  const char* env = std::getenv("OVPROF_LINT_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 bool helpRequested(const Flags& flags) {
   return flags.getBool("help", false);
 }
@@ -130,7 +147,16 @@ const char* ovprofHelpText() {
       "                               (default 524288; overflow drops newest\n"
       "                               records and is counted)\n"
       "  --ovprof-trace-window=NS     time-resolved analysis window in\n"
-      "                               virtual ns (default 1000000)\n";
+      "                               virtual ns (default 1000000)\n"
+      "  --ovprof-lint[=0|1]          after the run, lint the collected trace\n"
+      "                               (RMA race detection, wait-for deadlock\n"
+      "                               and stall analysis, overlap advice) and\n"
+      "                               print ranked findings; the process exits\n"
+      "                               nonzero on Warning/Error findings; also:\n"
+      "                               OVPROF_LINT=1\n"
+      "  --ovprof-lint-json=FILE      with --ovprof-lint, additionally write\n"
+      "                               the findings as a deterministic JSON\n"
+      "                               array to FILE; also: OVPROF_LINT_JSON\n";
 }
 
 }  // namespace ovp::util

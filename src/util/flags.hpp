@@ -49,6 +49,17 @@ class Flags {
 /// a Chrome trace-event JSON to FILE and a lossless CSV to FILE.csv.
 [[nodiscard]] std::string traceSpecRequested(const Flags& flags);
 
+/// Standard switch for the offline lint passes: true when --ovprof-lint[=1]
+/// was passed, or the OVPROF_LINT environment variable is set non-empty (and
+/// not "0").  The binary runs analysis::runLint over the collected trace
+/// after the run and exits nonzero on Warning/Error findings.
+[[nodiscard]] bool lintRequested(const Flags& flags);
+
+/// Optional JSON sink for lint findings: the path from
+/// --ovprof-lint-json=FILE, or from the OVPROF_LINT_JSON environment
+/// variable when the flag is absent; empty string when neither is set.
+[[nodiscard]] std::string lintJsonPathRequested(const Flags& flags);
+
 /// True when --help (or -h as the sole positional-looking argument) was
 /// passed.  parse() accepts "-h" specially for this.
 [[nodiscard]] bool helpRequested(const Flags& flags);

@@ -32,6 +32,11 @@
 // deadlock/stall analysis, and the overlap advisor.  Implies trace
 // collection (no file is written unless --ovprof-trace is also given).
 // --ovprof-lint-json=FILE additionally writes the findings as JSON.
+//
+// --ovprof-model=FILE (or OVPROF_MODEL=FILE) saves a model sample — the
+// merged job report plus sweep metadata — for ovprof_model's multi-run
+// fitting.  --ovprof-model-param=X overrides the recorded sweep parameter
+// (default: mean bytes per transfer).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -40,6 +45,7 @@
 
 #include "analysis/lint.hpp"
 
+#include "model/sample.hpp"
 #include "nas/bt.hpp"
 #include "net/fault.hpp"
 #include "nas/cg.hpp"
@@ -49,6 +55,7 @@
 #include "nas/lu.hpp"
 #include "nas/mg.hpp"
 #include "nas/sp.hpp"
+#include "overlap/report_io.hpp"
 #include "trace/critical_path.hpp"
 #include "trace/export.hpp"
 #include "trace/timeline.hpp"
@@ -310,16 +317,25 @@ int main(int argc, char** argv) {
 
   const std::string reports = flags.getString("reports", "");
   if (!reports.empty()) {
-    for (const overlap::Report& r : result.reports) {
-      const std::string path =
-          reports + ".rank" + std::to_string(r.rank) + ".ovp";
-      if (!r.saveFile(path)) {
-        std::fprintf(stderr, "failed to write %s\n", path.c_str());
-        return 1;
-      }
+    if (!overlap::ReportIo::saveAll(result.reports, reports)) {
+      std::fprintf(stderr, "failed to write %s.rank*.ovp\n", reports.c_str());
+      return 1;
     }
     std::printf("wrote %zu report files to %s.rank*.ovp\n",
                 result.reports.size(), reports.c_str());
+  }
+  const std::string model_path = util::modelSamplePathRequested(flags);
+  if (!model_path.empty()) {
+    const model::RunSample sample = model::RunSample::fromReports(
+        result.reports, kernel, cls, mpi::presetName(params.preset),
+        flags.getString("variant", ""), params.nranks, params.iterations,
+        util::modelParamRequested(flags));
+    if (!sample.saveFile(model_path)) {
+      std::fprintf(stderr, "failed to write %s\n", model_path.c_str());
+      return 1;
+    }
+    std::printf("model sample: %s=%.6g -> %s\n", sample.param_name.c_str(),
+                sample.param, model_path.c_str());
   }
   if (params.verify) {
     std::printf("verifier:   %zu diagnostic(s), %s\n",

@@ -1,0 +1,194 @@
+#include "model/fitter.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace ovp::model {
+
+namespace {
+
+/// Relative margin a candidate must win by; keeps ranking deterministic in
+/// the face of ~ulp score differences between equivalent exact fits.
+constexpr double kScoreMargin = 1e-9;
+
+/// RSS below this fraction of the data's energy is a numerically exact fit
+/// (pure rounding noise).  All exact fits score identically (0), so the
+/// preference order — not ulp accidents — decides between them; without
+/// this, on a 2-point sweep every hypothesis interpolates exactly and the
+/// winner would be whichever basis happened to round most favourably.
+constexpr double kExactRssFraction = 1e-20;
+
+struct LinearFit {
+  bool ok = false;
+  double c = 0.0;
+  double a = 0.0;
+};
+
+/// OLS for y = c + a*b over the points excluding index `skip` (-1 = none).
+LinearFit solve(const std::vector<double>& bs, const std::vector<double>& ys,
+                std::ptrdiff_t skip) {
+  LinearFit out;
+  double n = 0, sb = 0, sbb = 0, sy = 0, sby = 0;
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == skip) continue;
+    n += 1.0;
+    sb += bs[i];
+    sbb += bs[i] * bs[i];
+    sy += ys[i];
+    sby += bs[i] * ys[i];
+  }
+  if (n < 2.0) return out;
+  const double det = n * sbb - sb * sb;
+  // Near-singular design (all basis values equal, e.g. log2(n) over an
+  // all-ones sweep): the hypothesis cannot be told apart from the constant
+  // model, so reject it.
+  if (std::fabs(det) <= 1e-12 * (n * sbb + sb * sb + 1e-300)) return out;
+  out.ok = true;
+  out.a = (n * sby - sb * sy) / det;
+  out.c = (sy - out.a * sb) / n;
+  return out;
+}
+
+double meanExcluding(const std::vector<double>& ys, std::ptrdiff_t skip) {
+  double n = 0, sy = 0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (static_cast<std::ptrdiff_t>(i) == skip) continue;
+    n += 1.0;
+    sy += ys[i];
+  }
+  return n > 0 ? sy / n : 0.0;
+}
+
+double smapeTerm(double predicted, double actual) {
+  const double denom = std::fabs(predicted) + std::fabs(actual);
+  if (denom <= 0.0) return 0.0;
+  return 2.0 * std::fabs(predicted - actual) / denom;
+}
+
+/// Fills rss / r2 / smape / max_abs_residual for predictions `ps`.
+void scoreFit(Fit& fit, const std::vector<double>& ps,
+              const std::vector<double>& ys) {
+  const double mean = meanExcluding(ys, -1);
+  double rss = 0, tss = 0, smape = 0, max_abs = 0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double r = ps[i] - ys[i];
+    rss += r * r;
+    const double d = ys[i] - mean;
+    tss += d * d;
+    smape += smapeTerm(ps[i], ys[i]);
+    max_abs = std::fmax(max_abs, std::fabs(r));
+  }
+  fit.rss = rss;
+  fit.r2 = tss > 0 ? 1.0 - rss / tss : (rss > 0 ? 0.0 : 1.0);
+  fit.smape = smape / static_cast<double>(ys.size());
+  fit.max_abs_residual = max_abs;
+}
+
+}  // namespace
+
+const std::vector<Hypothesis>& defaultHypotheses() {
+  // Preference order: the shapes message-passing metrics actually take
+  // first (affine in size, n log n collectives, sub-linear surface terms),
+  // then the steeper polynomial and polylog shapes.
+  static const std::vector<Hypothesis> kHypotheses = {
+      {1, 1, 0},  // n          (bandwidth-dominated transfer time)
+      {1, 1, 1},  // n log n    (tree/butterfly collectives)
+      {1, 2, 0},  // sqrt(n)    (2D surface-to-volume)
+      {2, 3, 0},  // n^(2/3)    (3D surface-to-volume)
+      {1, 1, 2},  // n log^2 n
+      {3, 2, 0},  // n^(3/2)
+      {2, 1, 0},  // n^2
+      {1, 4, 0},  // n^(1/4)
+      {1, 3, 0},  // n^(1/3)
+      {3, 4, 0},  // n^(3/4)
+      {5, 4, 0},  // n^(5/4)
+      {4, 3, 0},  // n^(4/3)
+      {5, 3, 0},  // n^(5/3)
+      {2, 1, 1},  // n^2 log n
+      {5, 2, 0},  // n^(5/2)
+      {3, 1, 0},  // n^3
+      {0, 1, 1},  // log n
+      {0, 1, 2},  // log^2 n
+  };
+  return kHypotheses;
+}
+
+Fit fitMetric(const std::vector<double>& xs, const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  const bool use_cv = n >= static_cast<std::size_t>(kMinCvSamples);
+
+  // Constant model: the incumbent every hypothesis has to beat.
+  Fit best;
+  best.samples = static_cast<int>(n);
+  best.hypothesis = -1;
+  best.model.constant = meanExcluding(ys, -1);
+  {
+    std::vector<double> ps(n, best.model.constant);
+    scoreFit(best, ps, ys);
+    if (use_cv) {
+      double cv = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        cv += smapeTerm(meanExcluding(ys, static_cast<std::ptrdiff_t>(i)),
+                        ys[i]);
+      }
+      best.cv_score = cv / static_cast<double>(n);
+    }
+  }
+  double energy = 0.0;
+  for (const double y : ys) energy += y * y;
+  const double rss_floor = energy * kExactRssFraction;
+  const auto clampScore = [&](double score, double rss) {
+    return rss <= rss_floor ? 0.0 : score;
+  };
+
+  double best_score =
+      clampScore(use_cv ? best.cv_score : best.rss, best.rss);
+  if (n < 2) return best;
+
+  const std::vector<Hypothesis>& hypotheses = defaultHypotheses();
+  std::vector<double> bs(n), ps(n);
+  for (std::size_t h = 0; h < hypotheses.size(); ++h) {
+    Term term;
+    term.exp_num = hypotheses[h].exp_num;
+    term.exp_den = hypotheses[h].exp_den;
+    term.log_exp = hypotheses[h].log_exp;
+    for (std::size_t i = 0; i < n; ++i) bs[i] = term.basis(xs[i]);
+
+    const LinearFit lf = solve(bs, ys, -1);
+    if (!lf.ok) continue;
+    Fit candidate;
+    candidate.samples = static_cast<int>(n);
+    candidate.hypothesis = static_cast<int>(h);
+    candidate.model.constant = lf.c;
+    term.coeff = lf.a;
+    candidate.model.terms.push_back(term);
+    for (std::size_t i = 0; i < n; ++i) ps[i] = lf.c + lf.a * bs[i];
+    scoreFit(candidate, ps, ys);
+
+    if (use_cv) {
+      double cv = 0;
+      bool cv_ok = true;
+      for (std::size_t i = 0; i < n && cv_ok; ++i) {
+        const LinearFit fold =
+            solve(bs, ys, static_cast<std::ptrdiff_t>(i));
+        if (!fold.ok) {
+          cv_ok = false;
+          break;
+        }
+        cv += smapeTerm(fold.c + fold.a * bs[i], ys[i]);
+      }
+      if (!cv_ok) continue;
+      candidate.cv_score = cv / static_cast<double>(n);
+    }
+
+    const double score = clampScore(
+        use_cv ? candidate.cv_score : candidate.rss, candidate.rss);
+    if (score < best_score * (1.0 - kScoreMargin) - 1e-300) {
+      best = candidate;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace ovp::model

@@ -1,0 +1,69 @@
+// Least-squares hypothesis search over the performance-model normal form.
+//
+// Following Extra-P's model generator: every candidate hypothesis is the
+// two-parameter family f(n) = c + a * n^i * log2(n)^j for one (i, j) from a
+// fixed candidate set (plus the one-parameter constant model).  Each
+// hypothesis is fitted by ordinary least squares in closed form, then the
+// candidates are ranked:
+//
+//   * with >= kMinCvSamples samples, by leave-one-out cross-validation
+//     (mean SMAPE of each left-out point under a model fitted to the rest)
+//     — the Extra-P-style guard against overfitting the training sweep;
+//   * with fewer samples (down to the 2-point sweeps the CI leg uses), by
+//     residual sum of squares.
+//
+// Ties — exact fits on tiny sweeps make every hypothesis RSS ~ 0 — resolve
+// to the EARLIEST hypothesis in defaultHypotheses() order, which is
+// deliberately sorted "plausible first" (linear, n log n, sqrt, ...): on a
+// 2-point sweep the fitter degrades to the analytically sensible
+// latency + bandwidth line instead of an arbitrary power law.
+//
+// Everything is deterministic: fixed iteration order, fixed tie-breaks, no
+// randomness — the same samples always produce bit-identical models.
+#pragma once
+
+#include <vector>
+
+#include "model/normal_form.hpp"
+
+namespace ovp::model {
+
+/// Shape of one candidate term (the coefficient is fitted).
+struct Hypothesis {
+  int exp_num = 0;
+  int exp_den = 1;
+  int log_exp = 0;
+};
+
+/// The candidate set, in preference order for tie-breaking.
+[[nodiscard]] const std::vector<Hypothesis>& defaultHypotheses();
+
+/// Minimum sample count for cross-validation ranking.
+inline constexpr int kMinCvSamples = 4;
+
+/// A fitted model plus its quality measures.
+struct Fit {
+  Model model;
+  /// Index into defaultHypotheses(); -1 means the constant model won.
+  int hypothesis = -1;
+  int samples = 0;
+  double rss = 0.0;    ///< residual sum of squares over the fit samples
+  double r2 = 0.0;     ///< 1 - rss/tss (0 when tss == 0)
+  double smape = 0.0;  ///< mean symmetric abs pct error over fit samples
+  /// Leave-one-out CV score (mean SMAPE over folds); negative when the
+  /// sample count was below kMinCvSamples and ranking fell back to RSS.
+  double cv_score = -1.0;
+  /// Largest absolute residual over the fit samples — the what-if
+  /// predictor's residual-based confidence half-width.
+  double max_abs_residual = 0.0;
+
+  [[nodiscard]] double eval(double n) const { return model.eval(n); }
+};
+
+/// Fits ys(xs) over the hypothesis set.  xs must be non-empty, the same
+/// length as ys, and >= 1 (sweep parameters are sizes/scales/counts).
+/// A single sample degenerates to the constant model.
+[[nodiscard]] Fit fitMetric(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+}  // namespace ovp::model

@@ -1,0 +1,51 @@
+// The performance-model normal form (Extra-P style).
+//
+// Analytic models of a metric as a function of one sweep parameter n
+// (message size, rank count, problem scale ...) are restricted to the
+// performance-model normal form
+//
+//     f(n) = c + sum_k a_k * n^(i_k) * log2(n)^(j_k)
+//
+// with rational exponents i_k from a small fixed candidate set and integer
+// log exponents j_k in {0, 1, 2}.  The restriction is what makes model
+// search tractable and the fitted functions human-readable: every term
+// names a recognizable complexity class (linear, n log n, sqrt, ...).
+//
+// This reproduction fits the one-term form (c plus a single term), which is
+// Extra-P's default search space as well; the Fitter (fitter.hpp) selects
+// the term shape by cross-validated least squares.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ovp::model {
+
+/// One multiplicative term a * n^(exp_num/exp_den) * log2(n)^log_exp.
+struct Term {
+  double coeff = 0.0;
+  int exp_num = 0;  ///< numerator of the rational exponent i
+  int exp_den = 1;  ///< denominator of the rational exponent i (> 0)
+  int log_exp = 0;  ///< j in log2(n)^j
+
+  /// The term's basis function n^i * log2(n)^j.  Defined for n >= 1; the
+  /// fitter only sees sweep parameters >= 1 and eval() clamps, so the
+  /// log2(n) < 0 region never participates.
+  [[nodiscard]] double basis(double n) const;
+
+  /// "n^(3/2)*log2(n)" — omits unit factors.
+  [[nodiscard]] std::string describeBasis() const;
+};
+
+/// f(n) = constant + sum of terms.
+struct Model {
+  double constant = 0.0;
+  std::vector<Term> terms;
+
+  [[nodiscard]] double eval(double n) const;
+
+  /// Human-readable normal form, e.g. "12.5 + 0.31*n*log2(n)".
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ovp::model

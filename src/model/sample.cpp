@@ -1,0 +1,141 @@
+#include "model/sample.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ovp::model {
+
+namespace {
+
+/// Metadata tokens are whitespace-delimited; empty strings get a
+/// placeholder so the stream stays parseable.
+std::string token(const std::string& s) { return s.empty() ? "-" : s; }
+
+std::string untoken(const std::string& s) {
+  return s == "-" ? std::string() : s;
+}
+
+}  // namespace
+
+RunSample RunSample::fromReports(const std::vector<overlap::Report>& reports,
+                                 std::string kernel, std::string cls,
+                                 std::string preset, std::string variant,
+                                 int nranks, int iterations,
+                                 double param_override) {
+  RunSample s;
+  s.kernel = std::move(kernel);
+  s.cls = std::move(cls);
+  s.preset = std::move(preset);
+  s.variant = std::move(variant);
+  s.nranks = nranks;
+  s.iterations = iterations;
+  s.merged = overlap::mergeReports(reports);
+  if (param_override > 0.0) {
+    s.param_name = "param";
+    s.param = param_override;
+  } else {
+    const overlap::OverlapAccum& whole = s.merged.whole.total;
+    s.param = whole.transfers > 0 ? static_cast<double>(whole.bytes) /
+                                        static_cast<double>(whole.transfers)
+                                  : 0.0;
+  }
+  return s;
+}
+
+void RunSample::save(std::ostream& os) const {
+  os << "ovprof-sample-v1\n";
+  os << "kernel " << token(kernel) << '\n';
+  os << "class " << token(cls) << '\n';
+  os << "preset " << token(preset) << '\n';
+  os << "variant " << token(variant) << '\n';
+  os << "nranks " << nranks << '\n';
+  os << "iterations " << iterations << '\n';
+  // %.17g round-trips any double exactly, keeping reruns bit-identical.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", param);
+  os << "param " << token(param_name) << ' ' << buf << '\n';
+  merged.save(os);
+}
+
+bool RunSample::load(std::istream& is) {
+  *this = RunSample{};
+  std::string line, key, value;
+  if (!std::getline(is, line) || util::trim(line) != "ovprof-sample-v1") {
+    return false;
+  }
+  if (!(is >> key >> value) || key != "kernel") return false;
+  kernel = untoken(value);
+  if (!(is >> key >> value) || key != "class") return false;
+  cls = untoken(value);
+  if (!(is >> key >> value) || key != "preset") return false;
+  preset = untoken(value);
+  if (!(is >> key >> value) || key != "variant") return false;
+  variant = untoken(value);
+  if (!(is >> key >> nranks) || key != "nranks") return false;
+  if (!(is >> key >> iterations) || key != "iterations") return false;
+  if (!(is >> key >> value >> param) || key != "param") return false;
+  param_name = untoken(value);
+  // Skip the rest of the param line; Report::load expects its header line.
+  std::getline(is, line);
+  return merged.load(is);
+}
+
+bool RunSample::saveFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  save(os);
+  return static_cast<bool>(os);
+}
+
+bool RunSample::loadFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return load(is);
+}
+
+bool SampleSet::loadFiles(const std::vector<std::string>& paths,
+                          std::string* error) {
+  runs.clear();
+  for (const std::string& path : paths) {
+    RunSample s;
+    if (!s.loadFile(path)) {
+      if (error != nullptr) *error = "cannot load sample file " + path;
+      runs.clear();
+      return false;
+    }
+    runs.push_back(std::move(s));
+  }
+  return true;
+}
+
+void SampleSet::sortByParam() {
+  std::stable_sort(runs.begin(), runs.end(),
+                   [](const RunSample& a, const RunSample& b) {
+                     if (a.param != b.param) return a.param < b.param;
+                     if (a.kernel != b.kernel) return a.kernel < b.kernel;
+                     return a.cls < b.cls;
+                   });
+}
+
+bool SampleSet::consistent(std::string* why) const {
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const RunSample& a = runs.front();
+    const RunSample& b = runs[i];
+    const char* field = nullptr;
+    if (a.kernel != b.kernel) field = "kernel";
+    else if (a.preset != b.preset) field = "preset";
+    else if (a.variant != b.variant) field = "variant";
+    else if (a.param_name != b.param_name) field = "param_name";
+    if (field != nullptr) {
+      if (why != nullptr) *why = field;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ovp::model

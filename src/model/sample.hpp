@@ -1,0 +1,66 @@
+// Multi-run ingestion: one run = one sample file.
+//
+// A RunSample is the job-merged overlap::Report of one run plus the sweep
+// metadata the fitter needs: what was run (kernel / class / preset /
+// variant / rank count) and the numeric sweep parameter the run sits at.
+// The default parameter is the run's mean message size (whole-run bytes /
+// transfers) — the natural x axis for "fit at two message-size scales,
+// predict a third" — but drivers can override it (--ovprof-model-param)
+// to sweep rank counts, iteration counts or anything else.
+//
+// The file format ("ovprof-sample-v1") is a small whitespace-tokenized
+// metadata header followed by the exact Report::save() stream, so the
+// sample layer reuses the report serializer verbatim instead of inventing
+// a second encoding of the same accumulators.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "overlap/report.hpp"
+
+namespace ovp::model {
+
+struct RunSample {
+  std::string kernel = "?";
+  std::string cls = "?";
+  std::string preset = "?";
+  std::string variant;  ///< empty unless the kernel has variants (mg)
+  int nranks = 0;
+  int iterations = 0;  ///< 0 = kernel default
+  std::string param_name = "mean_bytes";
+  double param = 0.0;  ///< sweep parameter value (>= 1 for fitting)
+  overlap::Report merged;  ///< job-merged report (rank == -1)
+
+  /// Builds a sample from per-rank reports.  `param_override` <= 0 keeps
+  /// the default mean-message-size parameter.
+  [[nodiscard]] static RunSample fromReports(
+      const std::vector<overlap::Report>& reports, std::string kernel,
+      std::string cls, std::string preset, std::string variant, int nranks,
+      int iterations, double param_override = 0.0);
+
+  void save(std::ostream& os) const;
+  [[nodiscard]] bool load(std::istream& is);
+  [[nodiscard]] bool saveFile(const std::string& path) const;
+  [[nodiscard]] bool loadFile(const std::string& path);
+};
+
+/// A set of samples forming one sweep.
+struct SampleSet {
+  std::vector<RunSample> runs;
+
+  /// Loads every path; false (with `error` set) on the first failure.
+  [[nodiscard]] bool loadFiles(const std::vector<std::string>& paths,
+                               std::string* error = nullptr);
+
+  /// Stable sort by (param, kernel, cls) — the canonical fitting order.
+  void sortByParam();
+
+  /// True when every run shares kernel / preset / variant / param_name —
+  /// i.e. the samples are one sweep, not a grab bag.  `why` names the
+  /// first mismatching field.
+  [[nodiscard]] bool consistent(std::string* why = nullptr) const;
+};
+
+}  // namespace ovp::model

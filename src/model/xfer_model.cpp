@@ -1,0 +1,63 @@
+#include "model/xfer_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ovp::model {
+
+XferModel XferModel::fitTable(const overlap::XferTimeTable& table) {
+  XferModel m;
+  if (table.empty()) {
+    m.fit_ = fitMetric({1.0}, {0.0});
+    return m;
+  }
+  std::vector<double> xs, ys;
+  xs.reserve(table.points());
+  ys.reserve(table.points());
+  for (std::size_t i = 0; i < table.points(); ++i) {
+    const auto [size, time] = table.point(i);
+    xs.push_back(static_cast<double>(size));
+    ys.push_back(static_cast<double>(time));
+  }
+  m.fit_ = fitMetric(xs, ys);
+  m.min_size_ = table.point(0).first;
+  m.max_size_ = table.point(table.points() - 1).first;
+  return m;
+}
+
+DurationNs XferModel::evalNs(Bytes size) const {
+  if (size <= 0) return 0;
+  const double v = fit_.eval(static_cast<double>(size));
+  return std::max<DurationNs>(0, std::llround(v));
+}
+
+overlap::XferTimeTable XferModel::tabulate(Bytes min_size, Bytes max_size,
+                                           int points_per_decade) const {
+  overlap::XferTimeTable out;
+  if (min_size < 1) min_size = 1;
+  if (max_size < min_size) max_size = min_size;
+  if (points_per_decade < 1) points_per_decade = 1;
+  Bytes last = 0;
+  // Log-spaced grid: size_k = min * 10^(k / ppd), deduplicated after
+  // rounding (adjacent grid points collapse at small sizes).
+  for (int k = 0;; ++k) {
+    const double raw = static_cast<double>(min_size) *
+                       std::pow(10.0, static_cast<double>(k) /
+                                          static_cast<double>(points_per_decade));
+    Bytes size = static_cast<Bytes>(std::llround(raw));
+    bool done = false;
+    if (size >= max_size) {
+      size = max_size;
+      done = true;
+    }
+    if (size > last) {
+      out.add(size, evalNs(size));
+      last = size;
+    }
+    if (done) break;
+  }
+  return out;
+}
+
+}  // namespace ovp::model

@@ -1,0 +1,48 @@
+// Analytic replacement for the a-priori transfer-time table.
+//
+// The calibrated overlap::XferTimeTable is a piecewise interpolant over
+// measured points; XferModel fits the same points with the normal-form
+// fitter and evaluates the winning hypothesis instead.  Two uses:
+//
+//  * smoothing — a fitted latency+bandwidth (or n log n, ...) curve prices
+//    sizes the calibration sweep never measured, without the segment kinks
+//    of interpolation and with principled (if blunt) extrapolation;
+//  * portability — tabulate() re-materializes the model as a plain
+//    XferTimeTable at any log-spaced resolution, so every existing consumer
+//    (Processor, trace replay, what-if scaling) can run on the fitted
+//    curve with zero new code paths.
+#pragma once
+
+#include "model/fitter.hpp"
+#include "overlap/xfer_table.hpp"
+#include "util/types.hpp"
+
+namespace ovp::model {
+
+class XferModel {
+ public:
+  /// Fits the table's calibration points (size -> time) over the normal
+  /// form.  An empty table yields an all-zero constant model.
+  [[nodiscard]] static XferModel fitTable(const overlap::XferTimeTable& table);
+
+  /// Fitted xfer_time for an arbitrary size, clamped at 0.
+  [[nodiscard]] DurationNs evalNs(Bytes size) const;
+
+  /// Re-materializes the fitted curve as a table with log-spaced sizes
+  /// covering [min_size, max_size] (both endpoints included),
+  /// `points_per_decade` points per factor of 10.
+  [[nodiscard]] overlap::XferTimeTable tabulate(Bytes min_size, Bytes max_size,
+                                                int points_per_decade) const;
+
+  [[nodiscard]] const Fit& fit() const { return fit_; }
+  /// Calibrated size range the fit was trained on (0,0 when empty).
+  [[nodiscard]] Bytes minSize() const { return min_size_; }
+  [[nodiscard]] Bytes maxSize() const { return max_size_; }
+
+ private:
+  Fit fit_;
+  Bytes min_size_ = 0;
+  Bytes max_size_ = 0;
+};
+
+}  // namespace ovp::model

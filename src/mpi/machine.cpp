@@ -7,6 +7,7 @@
 
 #include "analysis/stream_verifier.hpp"
 #include "analysis/usage_checker.hpp"
+#include "overlap/report_io.hpp"
 #include "trace/net_tap.hpp"
 
 namespace ovp::mpi {
@@ -22,12 +23,7 @@ overlap::XferTimeTable analyticTable(const net::FabricParams& params) {
 Machine::Machine(JobConfig cfg) : cfg_(std::move(cfg)) {}
 
 bool Machine::writeReports(const std::string& prefix) const {
-  for (const overlap::Report& r : reports_) {
-    const std::string path =
-        prefix + ".rank" + std::to_string(r.rank) + ".ovp";
-    if (!r.saveFile(path)) return false;
-  }
-  return true;
+  return overlap::ReportIo::saveAll(reports_, prefix);
 }
 
 void Machine::run(const std::function<void(Mpi&)>& rankMain) {

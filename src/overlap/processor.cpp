@@ -64,6 +64,13 @@ void Processor::advanceTo(TimeNs t) {
   }
 }
 
+DurationNs Processor::pricedXferTime(Bytes size) {
+  const XferTimeTable::Lookup lu = table_->lookupEx(size);
+  if (lu.below_range) ++xfer_below_range_;
+  if (lu.above_range) ++xfer_above_range_;
+  return lu.time;
+}
+
 void Processor::recordTransfer(const ActiveXfer& x, const BoundsInput& in) {
   const Bounds b = computeBounds(in);
   if (!in.begin_seen || !in.end_seen) {
@@ -118,7 +125,7 @@ void Processor::consume(const Event& e) {
         BoundsInput in;
         in.begin_seen = false;
         in.end_seen = true;
-        in.xfer_time = table_->lookup(e.size);
+        in.xfer_time = pricedXferTime(e.size);
         recordTransfer(x, in);
         break;
       }
@@ -129,7 +136,7 @@ void Processor::consume(const Event& e) {
       in.same_call = in_call_ && x.call_at_begin == call_index_;
       in.computation = comp_cum_ - x.comp_at_begin;
       in.noncomputation = noncomp_cum_ - x.noncomp_at_begin;
-      in.xfer_time = table_->lookup(x.size);
+      in.xfer_time = pricedXferTime(x.size);
       recordTransfer(x, in);
       active_.erase(it);
       break;
@@ -161,7 +168,7 @@ Report Processor::finalize(Rank rank, TimeNs end_time) {
     BoundsInput in;
     in.begin_seen = true;
     in.end_seen = false;
-    in.xfer_time = table_->lookup(x.size);
+    in.xfer_time = pricedXferTime(x.size);
     recordTransfer(x, in);
   }
   active_.clear();
@@ -173,6 +180,8 @@ Report Processor::finalize(Rank rank, TimeNs end_time) {
   r.case_same_call = case1_;
   r.case_split_call = case2_;
   r.case_inconclusive = case3_;
+  r.xfer_below_range = xfer_below_range_;
+  r.xfer_above_range = xfer_above_range_;
   auto toReport = [](const SectionAccum& acc) {
     SectionReport s;
     s.name = acc.name;

@@ -66,6 +66,8 @@ class Processor {
 
   /// Advances the integrals from the previous event time to t.
   void advanceTo(TimeNs t);
+  /// Table lookup that counts out-of-range (extrapolated) pricings.
+  [[nodiscard]] DurationNs pricedXferTime(Bytes size);
   void recordTransfer(const ActiveXfer& x, const BoundsInput& in);
   [[nodiscard]] std::vector<SectionId> currentSections() const;
 
@@ -89,6 +91,7 @@ class Processor {
   std::int64_t call_index_ = 0;
 
   std::int64_t case1_ = 0, case2_ = 0, case3_ = 0;
+  std::int64_t xfer_below_range_ = 0, xfer_above_range_ = 0;
 };
 
 }  // namespace ovp::overlap

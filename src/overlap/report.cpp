@@ -52,6 +52,11 @@ void Report::write(std::ostream& os) const {
   os << "bound_cases: same_call=" << case_same_call
      << " split_call=" << case_split_call
      << " inconclusive=" << case_inconclusive << '\n';
+  if (xfer_below_range != 0 || xfer_above_range != 0) {
+    os << "xfer_extrapolation: below_range=" << xfer_below_range
+       << " above_range=" << xfer_above_range
+       << " (transfer times outside the calibrated table are estimates)\n";
+  }
   if (faults.any()) {
     os << "faults: attempts=" << faults.attempts << " drops=" << faults.drops
        << " corrupt=" << faults.corrupt_drops
@@ -125,6 +130,12 @@ void Report::save(std::ostream& os) const {
   os << "events " << events_logged << ' ' << queue_drains << '\n';
   os << "cases " << case_same_call << ' ' << case_split_call << ' '
      << case_inconclusive << '\n';
+  if (xfer_below_range != 0 || xfer_above_range != 0) {
+    // Written only when non-zero so in-range outputs stay byte-identical
+    // with older readers/goldens; load() treats the line as optional.
+    os << "extrapolation " << xfer_below_range << ' ' << xfer_above_range
+       << '\n';
+  }
   if (faults.any()) {
     // Written only when non-zero so fault-free outputs stay byte-identical
     // with pre-fault readers/goldens; load() treats the line as optional.
@@ -160,6 +171,10 @@ bool Report::load(std::istream& is) {
     return false;
   }
   if (!(is >> key)) return false;
+  if (key == "extrapolation") {
+    if (!(is >> xfer_below_range >> xfer_above_range)) return false;
+    if (!(is >> key)) return false;
+  }
   if (key == "faults") {
     if (!(is >> faults.attempts >> faults.drops >> faults.corrupt_drops >>
           faults.duplicates >> faults.dup_discards >> faults.reorders >>
@@ -250,6 +265,8 @@ Report mergeReports(const std::vector<Report>& reports) {
     merged.case_same_call += r.case_same_call;
     merged.case_split_call += r.case_split_call;
     merged.case_inconclusive += r.case_inconclusive;
+    merged.xfer_below_range += r.xfer_below_range;
+    merged.xfer_above_range += r.xfer_above_range;
     merged.faults += r.faults;
     mergeSection(merged.whole, r.whole);
     for (const SectionReport& s : r.sections) {

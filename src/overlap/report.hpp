@@ -133,6 +133,11 @@ struct Report {
   std::int64_t case_same_call = 0;      // case 1
   std::int64_t case_split_call = 0;     // case 2
   std::int64_t case_inconclusive = 0;   // case 3
+  /// Transfers priced outside the calibrated xfer_time range (explicit
+  /// extrapolation in XferTimeTable::lookupEx): the a-priori transfer times
+  /// behind those bounds are estimates, not measurements.
+  std::int64_t xfer_below_range = 0;
+  std::int64_t xfer_above_range = 0;
   /// Fault/reliability counters for this rank's NIC (all zero unless the
   /// fabric ran with fault injection enabled).
   FaultStats faults;

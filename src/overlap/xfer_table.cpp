@@ -1,6 +1,7 @@
 #include "overlap/xfer_table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -25,44 +26,72 @@ void XferTimeTable::sort() {
             [](const Point& a, const Point& b) { return a.size < b.size; });
 }
 
-DurationNs XferTimeTable::lookup(Bytes size) const {
-  if (points_.empty() || size <= 0) return 0;
+XferTimeTable::Lookup XferTimeTable::lookupEx(Bytes size) const {
+  Lookup out;
+  if (points_.empty() || size <= 0) return out;
   if (points_.size() == 1) {
-    // Single point: scale by bandwidth through that point.
+    // Single point: scale by bandwidth through that point.  Anything other
+    // than the point itself is extrapolation.
     const double scale =
         static_cast<double>(size) / static_cast<double>(points_[0].size);
-    return static_cast<DurationNs>(static_cast<double>(points_[0].time) *
-                                   scale);
+    out.time = static_cast<DurationNs>(static_cast<double>(points_[0].time) *
+                                       scale);
+    out.below_range = size < points_[0].size;
+    out.above_range = size > points_[0].size;
+    return out;
   }
-  if (size <= points_.front().size) {
-    // Below range: interpolate along the first segment's line (captures the
-    // latency floor better than proportional scaling).
+  if (size < points_.front().size) {
+    // Below range: extrapolate along the first segment's line (captures the
+    // latency floor better than proportional scaling), never negative.
+    out.below_range = true;
     const Point& a = points_[0];
     const Point& b = points_[1];
     const double t = static_cast<double>(size - a.size) /
                      static_cast<double>(b.size - a.size);
     const double v = static_cast<double>(a.time) +
                      t * static_cast<double>(b.time - a.time);
-    return v < 0 ? 0 : static_cast<DurationNs>(v);
+    out.time = v < 0 ? 0 : static_cast<DurationNs>(v);
+    return out;
   }
-  if (size >= points_.back().size) {
+  if (size > points_.back().size) {
     // Above range: extrapolate with the bandwidth of the last segment.
+    out.above_range = true;
     const Point& a = points_[points_.size() - 2];
     const Point& b = points_.back();
     const double slope = static_cast<double>(b.time - a.time) /
                          static_cast<double>(b.size - a.size);
-    return b.time + static_cast<DurationNs>(
-                        slope * static_cast<double>(size - b.size));
+    out.time = b.time + static_cast<DurationNs>(
+                            slope * static_cast<double>(size - b.size));
+    return out;
   }
   const auto hi = std::lower_bound(
       points_.begin(), points_.end(), size,
       [](const Point& p, Bytes s) { return p.size < s; });
+  if (hi->size == size) {
+    out.time = hi->time;
+    return out;
+  }
   const auto lo = hi - 1;
-  if (hi->size == size) return hi->time;
+  if (lo->time > 0 && hi->time > 0) {
+    // Interior: interpolate in log-log space.  Exact for power laws
+    // t = c * s^k, which is what a calibration sweep over decades of sizes
+    // looks like piecewise.
+    const double lt = std::log(static_cast<double>(lo->time));
+    const double ht = std::log(static_cast<double>(hi->time));
+    const double ls = std::log(static_cast<double>(lo->size));
+    const double hs = std::log(static_cast<double>(hi->size));
+    const double t = (std::log(static_cast<double>(size)) - ls) / (hs - ls);
+    out.time = static_cast<DurationNs>(
+        std::llround(std::exp(lt + t * (ht - lt))));
+    return out;
+  }
+  // A zero-time endpoint has no logarithm; fall back to linear.
   const double t = static_cast<double>(size - lo->size) /
                    static_cast<double>(hi->size - lo->size);
-  return lo->time +
-         static_cast<DurationNs>(t * static_cast<double>(hi->time - lo->time));
+  out.time =
+      lo->time +
+      static_cast<DurationNs>(t * static_cast<double>(hi->time - lo->time));
+  return out;
 }
 
 void XferTimeTable::save(std::ostream& os) const {

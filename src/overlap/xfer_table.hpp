@@ -24,14 +24,35 @@ class XferTimeTable {
  public:
   XferTimeTable() = default;
 
+  /// A priced lookup plus where the size fell relative to the calibrated
+  /// range.  Extrapolated values are estimates, not measurements — reports
+  /// count them so a run priced outside its calibration sweep is visible.
+  struct Lookup {
+    DurationNs time = 0;
+    bool below_range = false;  // size below the smallest calibrated point
+    bool above_range = false;  // size above the largest calibrated point
+    [[nodiscard]] bool extrapolated() const {
+      return below_range || above_range;
+    }
+  };
+
   /// Adds a calibration point; sizes may be added in any order.
   void add(Bytes size, DurationNs time);
 
-  /// xfer_time for an arbitrary size: piecewise-linear interpolation between
-  /// calibration points; proportional extrapolation below the first point
-  /// (through the origin offset) and bandwidth extrapolation above the last.
+  /// xfer_time for an arbitrary size.  Interior sizes interpolate in
+  /// log-log space (calibration sweeps span decades, and transfer time is
+  /// near power-law in size; linear interpolation systematically overprices
+  /// the inside of wide segments), falling back to linear when an endpoint
+  /// time is zero.  Outside the calibrated range the estimate is explicit
+  /// extrapolation: the first segment's line (clamped at 0) below, the last
+  /// segment's bandwidth slope above — both flagged in the result.
   /// Returns 0 for an empty table or non-positive size.
-  [[nodiscard]] DurationNs lookup(Bytes size) const;
+  [[nodiscard]] Lookup lookupEx(Bytes size) const;
+
+  /// lookupEx without the range flags.
+  [[nodiscard]] DurationNs lookup(Bytes size) const {
+    return lookupEx(size).time;
+  }
 
   [[nodiscard]] std::size_t points() const { return points_.size(); }
   [[nodiscard]] bool empty() const { return points_.empty(); }

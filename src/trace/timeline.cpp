@@ -56,7 +56,8 @@ void occupy(std::vector<WindowStats>& ws, DurationNs window_ns, TimeNs a,
 
 }  // namespace
 
-RankWindows analyzeWindows(const Collector& c, Rank r, DurationNs window_ns) {
+RankWindows analyzeWindows(const Collector& c, Rank r, DurationNs window_ns,
+                           const overlap::XferTimeTable* table_override) {
   if (window_ns <= 0) window_ns = msec(1);
   RankWindows out;
   out.rank = r;
@@ -126,7 +127,8 @@ RankWindows analyzeWindows(const Collector& c, Rank r, DurationNs window_ns) {
   };
 
   const TraceRing& ring = c.ring(r);
-  const overlap::XferTimeTable& table = c.table();
+  const overlap::XferTimeTable& table =
+      table_override != nullptr ? *table_override : c.table();
   for (std::size_t i = 0; i < ring.size(); ++i) {
     const Record& rec = ring.at(i);
     if (rec.kind > RecordKind::Enable) continue;  // monitor-origin only
@@ -206,12 +208,13 @@ RankWindows analyzeWindows(const Collector& c, Rank r, DurationNs window_ns) {
   return out;
 }
 
-std::vector<RankWindows> analyzeAllWindows(const Collector& c,
-                                           DurationNs window_ns) {
+std::vector<RankWindows> analyzeAllWindows(
+    const Collector& c, DurationNs window_ns,
+    const overlap::XferTimeTable* table_override) {
   std::vector<RankWindows> out;
   out.reserve(static_cast<std::size_t>(c.nranks()));
   for (Rank r = 0; r < c.nranks(); ++r) {
-    out.push_back(analyzeWindows(c, r, window_ns));
+    out.push_back(analyzeWindows(c, r, window_ns, table_override));
   }
   return out;
 }

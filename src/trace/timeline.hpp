@@ -65,11 +65,18 @@ struct RankWindows {
 /// Bins rank r's timeline into fixed windows of `window_ns`.  All ranks
 /// share the window grid (anchored at t=0) and the job horizon, so every
 /// RankWindows has the same windows.size().
-[[nodiscard]] RankWindows analyzeWindows(const Collector& c, Rank r,
-                                         DurationNs window_ns);
+///
+/// `table_override` substitutes a different a-priori transfer-time table
+/// for the replay (what-if prediction: reprice the recorded schedule under
+/// scaled latency/bandwidth); nullptr replays with the collector's own
+/// table and reproduces the live run bit-for-bit.
+[[nodiscard]] RankWindows analyzeWindows(
+    const Collector& c, Rank r, DurationNs window_ns,
+    const overlap::XferTimeTable* table_override = nullptr);
 
-[[nodiscard]] std::vector<RankWindows> analyzeAllWindows(const Collector& c,
-                                                         DurationNs window_ns);
+[[nodiscard]] std::vector<RankWindows> analyzeAllWindows(
+    const Collector& c, DurationNs window_ns,
+    const overlap::XferTimeTable* table_override = nullptr);
 
 /// Element-wise sum across ranks (all inputs must share a window grid).
 [[nodiscard]] std::vector<WindowStats> sumWindows(

@@ -15,6 +15,7 @@ constexpr std::string_view kKnownOvprofFlags[] = {
     "ovprof-verify", "ovprof-fault",        "ovprof-trace",
     "ovprof-trace-capacity", "ovprof-trace-window",
     "ovprof-lint", "ovprof-lint-json",
+    "ovprof-model", "ovprof-model-param",
 };
 
 bool knownOvprofFlag(std::string_view name) {
@@ -126,6 +127,26 @@ std::string lintJsonPathRequested(const Flags& flags) {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+std::string modelSamplePathRequested(const Flags& flags) {
+  if (flags.has("ovprof-model")) {
+    const std::string path = flags.getString("ovprof-model", "");
+    // A bare --ovprof-model parses as boolean "true"; give it a real name.
+    return path == "true" ? std::string("ovprof-model.sample") : path;
+  }
+  const char* env = std::getenv("OVPROF_MODEL");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+double modelParamRequested(const Flags& flags) {
+  if (flags.has("ovprof-model-param")) {
+    return flags.getDouble("ovprof-model-param", 0.0);
+  }
+  const char* env = std::getenv("OVPROF_MODEL_PARAM");
+  if (env == nullptr) return 0.0;
+  double v = 0.0;
+  return parseDouble(env, v) ? v : 0.0;
+}
+
 bool helpRequested(const Flags& flags) {
   return flags.getBool("help", false);
 }
@@ -156,7 +177,14 @@ const char* ovprofHelpText() {
       "                               OVPROF_LINT=1\n"
       "  --ovprof-lint-json=FILE      with --ovprof-lint, additionally write\n"
       "                               the findings as a deterministic JSON\n"
-      "                               array to FILE; also: OVPROF_LINT_JSON\n";
+      "                               array to FILE; also: OVPROF_LINT_JSON\n"
+      "  --ovprof-model=FILE          after the run, save a model sample\n"
+      "                               (merged report + sweep metadata) to\n"
+      "                               FILE for ovprof_model fit/predict;\n"
+      "                               also: OVPROF_MODEL=FILE\n"
+      "  --ovprof-model-param=X       sweep parameter recorded in the model\n"
+      "                               sample (default: mean bytes per\n"
+      "                               transfer); also: OVPROF_MODEL_PARAM\n";
 }
 
 }  // namespace ovp::util

@@ -60,6 +60,18 @@ class Flags {
 /// variable when the flag is absent; empty string when neither is set.
 [[nodiscard]] std::string lintJsonPathRequested(const Flags& flags);
 
+/// Model-sample sink: the path from --ovprof-model=FILE, or from the
+/// OVPROF_MODEL environment variable when the flag is absent; empty string
+/// when neither is set.  The binary saves a model::RunSample (the merged
+/// job report plus sweep metadata) to FILE after the run, for ovprof_model.
+[[nodiscard]] std::string modelSamplePathRequested(const Flags& flags);
+
+/// Sweep parameter recorded in the model sample: the value from
+/// --ovprof-model-param=X, or from the OVPROF_MODEL_PARAM environment
+/// variable when the flag is absent; 0.0 when neither is set (the sample
+/// then defaults to mean bytes per transfer).
+[[nodiscard]] double modelParamRequested(const Flags& flags);
+
 /// True when --help (or -h as the sole positional-looking argument) was
 /// passed.  parse() accepts "-h" specially for this.
 [[nodiscard]] bool helpRequested(const Flags& flags);

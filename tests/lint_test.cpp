@@ -418,7 +418,7 @@ trace::Collector advisorTrace() {
   t.add(1, 100);
   t.add(1 << 20, 1000 * 1000);
   c.setTable(t);
-  const Bytes kB = 64 * 1024;  // lookup ~= 62.6 us
+  const Bytes kB = 64 * 1024;  // log-log lookup ~= 159 us
   // Serialized: begin and end inside one call.
   c.push(0, rec(RecordKind::CallEnter, 0, 1000));
   c.push(0, rec(RecordKind::XferBegin, 0, 1100, /*id=*/1, -1, 0, kB));
@@ -431,10 +431,10 @@ trace::Collector advisorTrace() {
   c.push(0, rec(RecordKind::CallExit, 0, 162100));
   // Late wait: wire long done before the (instant) wait observed it.
   c.push(0, rec(RecordKind::XferBegin, 0, 200000, /*id=*/3, -1, 0, kB));
-  c.push(0, rec(RecordKind::CallEnter, 0, 340000));
-  c.push(0, rec(RecordKind::XferEnd, 0, 340100, /*id=*/3, -1, 0, kB));
-  c.push(0, rec(RecordKind::CallExit, 0, 340200));
-  c.setEndTime(0, 400000);
+  c.push(0, rec(RecordKind::CallEnter, 0, 530000));
+  c.push(0, rec(RecordKind::XferEnd, 0, 530100, /*id=*/3, -1, 0, kB));
+  c.push(0, rec(RecordKind::CallExit, 0, 530200));
+  c.setEndTime(0, 600000);
   return c;
 }
 

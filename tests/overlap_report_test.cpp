@@ -6,6 +6,7 @@
 
 #include "mpi/machine.hpp"
 #include "overlap/report.hpp"
+#include "overlap/report_io.hpp"
 
 namespace ovp::overlap {
 namespace {
@@ -185,6 +186,90 @@ TEST(ReportIo, RealRunRoundTripPreservesPercentages) {
   ASSERT_TRUE(loaded.load(ss));
   EXPECT_DOUBLE_EQ(loaded.whole.total.minPct(), original.whole.total.minPct());
   EXPECT_DOUBLE_EQ(loaded.whole.total.maxPct(), original.whole.total.maxPct());
+}
+
+TEST(ReportIo, ExtrapolationCountersRoundTripAndStayOptional) {
+  Report r = sampleReport(0);
+  r.xfer_below_range = 3;
+  r.xfer_above_range = 11;
+  std::stringstream ss;
+  r.save(ss);
+  EXPECT_NE(ss.str().find("extrapolation 3 11"), std::string::npos);
+  Report loaded;
+  ASSERT_TRUE(loaded.load(ss));
+  EXPECT_EQ(loaded.xfer_below_range, 3);
+  EXPECT_EQ(loaded.xfer_above_range, 11);
+
+  // Zero counters are omitted (old readers keep working), and a stream
+  // without the line loads with zeros (old files keep working).
+  const Report zero = sampleReport(0);
+  std::stringstream ss2;
+  zero.save(ss2);
+  EXPECT_EQ(ss2.str().find("extrapolation"), std::string::npos);
+  Report loaded2;
+  ASSERT_TRUE(loaded2.load(ss2));
+  EXPECT_EQ(loaded2.xfer_below_range, 0);
+  EXPECT_EQ(loaded2.xfer_above_range, 0);
+}
+
+TEST(ReportIo, WriteMentionsExtrapolationOnlyWhenPresent) {
+  Report r = sampleReport(0);
+  std::ostringstream clean;
+  r.write(clean);
+  EXPECT_EQ(clean.str().find("xfer_extrapolation"), std::string::npos);
+  r.xfer_above_range = 2;
+  std::ostringstream flagged;
+  r.write(flagged);
+  EXPECT_NE(flagged.str().find("xfer_extrapolation"), std::string::npos);
+}
+
+TEST(ReportMerge, SumsExtrapolationCounters) {
+  Report a = sampleReport(0);
+  Report b = sampleReport(1);
+  a.xfer_below_range = 1;
+  a.xfer_above_range = 4;
+  b.xfer_above_range = 5;
+  const Report merged = mergeReports({a, b});
+  EXPECT_EQ(merged.xfer_below_range, 1);
+  EXPECT_EQ(merged.xfer_above_range, 9);
+}
+
+TEST(ReportFiles, SaveAllLoadAllRoundTrip) {
+  std::vector<Report> reports = {sampleReport(0), sampleReport(1),
+                                 sampleReport(2)};
+  const std::string prefix = ::testing::TempDir() + "/ovp_reportio_all";
+  ASSERT_TRUE(ReportIo::saveAll(reports, prefix));
+  EXPECT_EQ(ReportIo::rankPath(prefix, 2), prefix + ".rank2.ovp");
+  std::vector<Report> loaded;
+  std::string error;
+  ASSERT_TRUE(ReportIo::loadAll(prefix, loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 3u);
+  for (Rank r = 0; r < 3; ++r) {
+    EXPECT_EQ(loaded[static_cast<std::size_t>(r)].rank, r);
+  }
+}
+
+TEST(ReportFiles, LoadAllRequiresRankZero) {
+  std::vector<Report> loaded;
+  std::string error;
+  EXPECT_FALSE(ReportIo::loadAll(::testing::TempDir() + "/ovp_reportio_nope",
+                                 loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ReportFiles, LoadMergedSumsRanks) {
+  std::vector<Report> reports = {sampleReport(0), sampleReport(1)};
+  const std::string prefix = ::testing::TempDir() + "/ovp_reportio_merge";
+  ASSERT_TRUE(ReportIo::saveAll(reports, prefix));
+  Report merged;
+  std::string error;
+  ASSERT_TRUE(ReportIo::loadMerged(
+      {ReportIo::rankPath(prefix, 0), ReportIo::rankPath(prefix, 1)}, merged,
+      &error))
+      << error;
+  EXPECT_EQ(merged.whole.total.transfers,
+            reports[0].whole.total.transfers +
+                reports[1].whole.total.transfers);
 }
 
 }  // namespace

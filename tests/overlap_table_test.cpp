@@ -1,6 +1,7 @@
 // Tests for the a-priori transfer-time table and message-size classes.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "overlap/size_classes.hpp"
@@ -24,11 +25,81 @@ TEST(XferTable, ExactPointLookup) {
 }
 
 TEST(XferTable, LinearInterpolationBetweenPoints) {
+  // t = s is a pure power law, so log-log interpolation reproduces the
+  // straight line exactly.
   XferTimeTable t;
   t.add(1000, 1000);
   t.add(3000, 3000);
   EXPECT_EQ(t.lookup(2000), 2000);
   EXPECT_EQ(t.lookup(1500), 1500);
+}
+
+TEST(XferTable, InteriorInterpolationIsLogLogExactOnPowerLaws) {
+  // t = 2 * s^1.5: linear interpolation between decade-spaced points would
+  // overprice the inside of each segment badly; log-log is exact.
+  XferTimeTable t;
+  auto pl = [](Bytes s) {
+    return static_cast<DurationNs>(
+        std::llround(2.0 * std::pow(static_cast<double>(s), 1.5)));
+  };
+  t.add(1000, pl(1000));
+  t.add(100000, pl(100000));
+  for (const Bytes s : {Bytes{3000}, Bytes{10000}, Bytes{40000}}) {
+    EXPECT_NEAR(static_cast<double>(t.lookup(s)),
+                static_cast<double>(pl(s)),
+                static_cast<double>(pl(s)) * 1e-3 + 1.0)
+        << "size " << s;
+    EXPECT_FALSE(t.lookupEx(s).extrapolated());
+  }
+  // By contrast the linear chord at the geometric midpoint is ~38% high.
+  const double chord =
+      (static_cast<double>(pl(1000)) + static_cast<double>(pl(100000))) / 2.0;
+  EXPECT_GT(chord, static_cast<double>(pl(10000)) * 1.3);
+}
+
+TEST(XferTable, InteriorFallsBackToLinearOnZeroEndpoint) {
+  // A zero-time calibration point has no log-log image; the segment
+  // degrades to the old linear rule instead of NaN.
+  XferTimeTable t;
+  t.add(1000, 0);
+  t.add(3000, 2000);
+  EXPECT_EQ(t.lookup(2000), 1000);
+  EXPECT_FALSE(t.lookupEx(2000).extrapolated());
+}
+
+TEST(XferTable, LookupExFlagsExtrapolation) {
+  XferTimeTable t;
+  t.add(1000, 1500);
+  t.add(2000, 2500);
+  // Interior and exact-point lookups are measurements, not estimates.
+  EXPECT_FALSE(t.lookupEx(1000).extrapolated());
+  EXPECT_FALSE(t.lookupEx(1500).extrapolated());
+  EXPECT_FALSE(t.lookupEx(2000).extrapolated());
+  const XferTimeTable::Lookup below = t.lookupEx(500);
+  EXPECT_TRUE(below.below_range);
+  EXPECT_FALSE(below.above_range);
+  EXPECT_TRUE(below.extrapolated());
+  const XferTimeTable::Lookup above = t.lookupEx(4000);
+  EXPECT_TRUE(above.above_range);
+  EXPECT_FALSE(above.below_range);
+  EXPECT_EQ(above.time, t.lookup(4000));
+}
+
+TEST(XferTable, LookupExSinglePointFlagsBothSides) {
+  XferTimeTable t;
+  t.add(1000, 500);
+  EXPECT_FALSE(t.lookupEx(1000).extrapolated());
+  EXPECT_TRUE(t.lookupEx(999).below_range);
+  EXPECT_TRUE(t.lookupEx(1001).above_range);
+}
+
+TEST(XferTable, LookupExEmptyAndNonPositiveAreUnflagged) {
+  XferTimeTable empty;
+  EXPECT_FALSE(empty.lookupEx(100).extrapolated());
+  XferTimeTable t;
+  t.add(100, 100);
+  EXPECT_FALSE(t.lookupEx(0).extrapolated());
+  EXPECT_FALSE(t.lookupEx(-5).extrapolated());
 }
 
 TEST(XferTable, ExtrapolationAboveUsesLastSegmentBandwidth) {

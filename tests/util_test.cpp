@@ -2,6 +2,7 @@
 // tables, RNG determinism.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "util/flags.hpp"
@@ -199,6 +200,48 @@ TEST(Flags, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "oops"};
   Flags f;
   EXPECT_FALSE(f.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, AcceptsModelFlagsAndRejectsTypos) {
+  // The model flags are in the reserved --ovprof-* namespace and must be
+  // known to the shared parser; near-misses are rejected like any typo.
+  const char* good[] = {"prog", "--ovprof-model=run.sample",
+                        "--ovprof-model-param=4096"};
+  Flags f;
+  ASSERT_TRUE(f.parse(3, const_cast<char**>(good)));
+  EXPECT_EQ(modelSamplePathRequested(f), "run.sample");
+  EXPECT_DOUBLE_EQ(modelParamRequested(f), 4096.0);
+
+  const char* typo[] = {"prog", "--ovprof-model-foo=1"};
+  Flags g;
+  EXPECT_FALSE(g.parse(2, const_cast<char**>(typo)));
+}
+
+TEST(Flags, BareModelFlagGetsDefaultFilename) {
+  const char* argv[] = {"prog", "--ovprof-model"};
+  Flags f;
+  ASSERT_TRUE(f.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(modelSamplePathRequested(f), "ovprof-model.sample");
+}
+
+TEST(Flags, ModelFlagsDefaultToUnset) {
+  Flags f;
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(f.parse(1, const_cast<char**>(argv)));
+  // No flag and (in the test environment) no OVPROF_MODEL* env.
+  if (std::getenv("OVPROF_MODEL") == nullptr) {
+    EXPECT_TRUE(modelSamplePathRequested(f).empty());
+  }
+  if (std::getenv("OVPROF_MODEL_PARAM") == nullptr) {
+    EXPECT_DOUBLE_EQ(modelParamRequested(f), 0.0);
+  }
+}
+
+TEST(Flags, HelpTextDocumentsEveryModelFlag) {
+  const std::string help = ovprofHelpText();
+  EXPECT_NE(help.find("--ovprof-model=FILE"), std::string::npos);
+  EXPECT_NE(help.find("--ovprof-model-param"), std::string::npos);
+  EXPECT_NE(help.find("OVPROF_MODEL"), std::string::npos);
 }
 
 TEST(Table, AlignsAndCounts) {

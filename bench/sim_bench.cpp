@@ -1,0 +1,117 @@
+// Benchmarks the discrete-event core and records the result as a JSON
+// artifact (BENCH_sim.json) so CI has an engine-throughput trajectory:
+//
+//   * run a message-heavy synthetic job (iterated nearest-neighbor halo
+//     exchange plus an allreduce, the communication shape of the NAS
+//     kernels) on a fixed rank count;
+//   * report simulator throughput as engine events per second of host wall
+//     time (the one place wall-clock is allowed — this artifact IS the
+//     timing record; tool outputs stay clock-free) and the process's peak
+//     RSS from getrusage.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpi/mpi.hpp"
+#include "util/flags.hpp"
+
+using namespace ovp;
+
+namespace {
+
+/// The synthetic workload: each rank exchanges a halo with both ring
+/// neighbors (nonblocking both sides, compute between post and wait), then
+/// joins an allreduce, `iters` times.  Sized so a default run processes a
+/// few million engine events.
+void rankMain(mpi::Mpi& mpi, int iters, int halo_doubles) {
+  const int rank = mpi.rank();
+  const int nranks = mpi.size();
+  const int left = (rank + nranks - 1) % nranks;
+  const int right = (rank + 1) % nranks;
+  std::vector<double> send_l(halo_doubles), send_r(halo_doubles);
+  std::vector<double> recv_l(halo_doubles), recv_r(halo_doubles);
+  double sum = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    mpi::Request rl = mpi.irecvT(recv_l.data(), halo_doubles, left, 1);
+    mpi::Request rr = mpi.irecvT(recv_r.data(), halo_doubles, right, 2);
+    mpi::Request sl = mpi.isendT(send_l.data(), halo_doubles, left, 2);
+    mpi::Request sr = mpi.isendT(send_r.data(), halo_doubles, right, 1);
+    mpi.compute(static_cast<DurationNs>(halo_doubles));
+    mpi.wait(rl);
+    mpi.wait(rr);
+    mpi.wait(sl);
+    mpi.wait(sr);
+    double total = 0.0;
+    mpi.allreduce(&sum, &total, 1, mpi::Op::Sum);
+    sum = total;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  if (!flags.parse(argc, argv)) return 2;
+  if (util::helpRequested(flags)) {
+    std::printf(
+        "usage: sim_bench [--procs=16] [--iters=400] [--halo=1024]\n"
+        "                 [--out=BENCH_sim.json]\n"
+        "Times the discrete-event engine on a synthetic halo-exchange job\n"
+        "and records events/sec and peak RSS as a JSON bench artifact.\n"
+        "framework flags (any ovprof binary):\n%s",
+        util::ovprofHelpText());
+    return 0;
+  }
+  const int nranks = static_cast<int>(flags.getInt("procs", 16));
+  const int iters = static_cast<int>(flags.getInt("iters", 400));
+  const int halo = static_cast<int>(flags.getInt("halo", 1024));
+
+  mpi::JobConfig cfg;
+  cfg.nranks = nranks;
+  mpi::Machine machine(cfg);
+
+  std::printf("=== sim_bench ===\n"
+              "%d ranks, %d iters, %d-double halo exchange + allreduce.\n",
+              nranks, iters, halo);
+  const auto start = std::chrono::steady_clock::now();
+  machine.run([&](mpi::Mpi& mpi) { rankMain(mpi, iters, halo); });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const std::int64_t events = machine.engine().eventsProcessed();
+  const double events_per_sec =
+      wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  const std::int64_t peak_rss_kb = usage.ru_maxrss;  // Linux: kilobytes
+
+  const std::string out_path = flags.getString("out", "BENCH_sim.json");
+  std::ofstream os(out_path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "sim_bench: failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  os << "{\n";
+  os << "  \"bench\": \"sim\",\n";
+  os << "  \"workload\": \"halo+allreduce\",\n";
+  os << "  \"ranks\": " << nranks << ",\n";
+  os << "  \"iters\": " << iters << ",\n";
+  os << "  \"halo_doubles\": " << halo << ",\n";
+  os << "  \"events\": " << events << ",\n";
+  os << "  \"wall_s\": " << wall_s << ",\n";
+  os << "  \"events_per_sec\": " << events_per_sec << ",\n";
+  os << "  \"peak_rss_kb\": " << peak_rss_kb << ",\n";
+  os << "  \"virtual_finish_ns\": " << machine.finishTime() << "\n";
+  os << "}\n";
+  std::printf("%lld events in %.3f s -> %.0f events/s, peak RSS %lld kB\n"
+              "-> %s\n",
+              static_cast<long long>(events), wall_s, events_per_sec,
+              static_cast<long long>(peak_rss_kb), out_path.c_str());
+  return 0;
+}

@@ -47,6 +47,15 @@ const char* diagCodeName(DiagCode c) {
     case DiagCode::EarlyWait: return "EARLY_WAIT";
     case DiagCode::LateWait: return "LATE_WAIT";
     case DiagCode::TraceIncomplete: return "TRACE_INCOMPLETE";
+    case DiagCode::StaticUnmatchedSend: return "STATIC_UNMATCHED_SEND";
+    case DiagCode::StaticUnmatchedRecv: return "STATIC_UNMATCHED_RECV";
+    case DiagCode::StaticTagMismatch: return "STATIC_TAG_MISMATCH";
+    case DiagCode::StaticWildcardRecv: return "STATIC_WILDCARD_RECV";
+    case DiagCode::StaticSizeMismatch: return "STATIC_SIZE_MISMATCH";
+    case DiagCode::StaticDeadlock: return "STATIC_DEADLOCK";
+    case DiagCode::StaticSerializedWindow: return "STATIC_SERIALIZED_WINDOW";
+    case DiagCode::StaticOverlapShortfall: return "STATIC_OVERLAP_SHORTFALL";
+    case DiagCode::ConformMismatch: return "CONFORM_MISMATCH";
   }
   return "?";
 }

@@ -60,6 +60,16 @@ enum class DiagCode : std::uint8_t {
   EarlyWait,              // wait entered long before the transfer finished
   LateWait,               // completion retired long after the wire was done
   TraceIncomplete,        // dropped/missing records limited the analysis
+  // ---- static skeleton analysis (src/skeleton, ovprof_check) ----
+  StaticUnmatchedSend,     // skeleton send no receive can ever match
+  StaticUnmatchedRecv,     // skeleton receive no send can ever match
+  StaticTagMismatch,       // channel sends/receives left over, tags disjoint
+  StaticWildcardRecv,      // wildcard receive: match order nondeterministic
+  StaticSizeMismatch,      // matched send/receive disagree on byte count
+  StaticDeadlock,          // cycle in the static blocking-dependency graph
+  StaticSerializedWindow,  // nonblocking post->wait window holds no compute
+  StaticOverlapShortfall,  // window compute shorter than the priced transfer
+  ConformMismatch,         // traced edge not admissible in the skeleton
 };
 
 [[nodiscard]] const char* severityName(Severity s);

@@ -1,0 +1,942 @@
+#include "nas/skeletons.hpp"
+
+#include <sstream>
+
+#include "nas/fft.hpp"
+#include "skeleton/builder.hpp"
+
+namespace ovp::nas {
+
+namespace {
+
+using skel::Builder;
+using skel::RankBuilder;
+
+constexpr Bytes kD = 8;   // sizeof(double)
+constexpr Bytes kC = 16;  // sizeof(Complex)
+
+SkeletonBuildResult fail(std::string why) {
+  SkeletonBuildResult r;
+  r.error = std::move(why);
+  return r;
+}
+
+SkeletonBuildResult finish(Builder&& b) {
+  SkeletonBuildResult r;
+  r.skeleton = b.take();
+  const std::string err = r.skeleton.validate();
+  if (!err.empty()) {
+    return fail("internal: built an invalid skeleton: " + err);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- CG ----
+
+struct CgSizes {
+  int n, niter, cgit;
+};
+
+CgSizes cgSizes(Class c) {
+  switch (c) {
+    case Class::S: return {1024, 2, 5};
+    case Class::A: return {4096, 3, 8};
+    case Class::B: return {16384, 3, 10};
+  }
+  return {1024, 2, 5};
+}
+
+constexpr int kCgTagSeg = 100;
+
+SkeletonBuildResult buildCg(const SkeletonParams& p) {
+  const CgSizes sz = cgSizes(p.cls);
+  const int niter = p.iterations > 0 ? p.iterations : sz.niter;
+  const int P = p.nranks;
+  const BlockDist dist = blockDistribute(sz.n, P);
+  Builder b("cg", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    const int myn = dist.size[static_cast<std::size_t>(me)];
+    auto dot = [&] {
+      rb.site("cg.dot");
+      rb.compute(p.cost.flops(2 * myn));
+      rb.mpiAllreduce(1);
+    };
+    auto matvec = [&] {
+      rb.site("cg.matvec");
+      std::vector<int> reqs;
+      for (int d = 1; d < P; ++d) {
+        const Rank peer = static_cast<Rank>((me + d) % P);
+        reqs.push_back(rb.irecv(
+            peer, kCgTagSeg,
+            static_cast<Bytes>(dist.size[static_cast<std::size_t>(peer)]) *
+                kD));
+      }
+      for (int d = 1; d < P; ++d) {
+        const Rank peer = static_cast<Rank>((me + d) % P);
+        reqs.push_back(rb.isend(peer, kCgTagSeg,
+                                static_cast<Bytes>(myn) * kD));
+      }
+      rb.compute(p.cost.flops(10 * myn));
+      rb.waitall(std::move(reqs));
+      rb.compute(p.cost.flops(8 * myn));
+    };
+    for (int it = 0; it < niter; ++it) {
+      dot();  // rho = r.r
+      for (int cg = 0; cg < sz.cgit; ++cg) {
+        matvec();
+        dot();  // p.q
+        rb.site("cg.axpy");
+        rb.compute(p.cost.flops(4 * myn));
+        dot();  // new r.r
+        rb.site("cg.axpy");
+        rb.compute(p.cost.flops(2 * myn));
+      }
+      rb.site("cg.norm");
+      rb.compute(p.cost.flops(4 * myn));
+      rb.mpiAllreduce(2);
+      rb.compute(p.cost.flops(myn));
+      rb.site("cg.allgather");
+      if (sz.n % P == 0) {
+        rb.mpiAllgather(static_cast<Bytes>(myn) * kD);
+      } else {
+        std::vector<int> reqs;
+        for (int d = 1; d < P; ++d) {
+          const Rank peer = static_cast<Rank>((me + d) % P);
+          reqs.push_back(rb.irecv(
+              peer, kCgTagSeg + 1,
+              static_cast<Bytes>(dist.size[static_cast<std::size_t>(peer)]) *
+                  kD));
+        }
+        for (int d = 1; d < P; ++d) {
+          const Rank peer = static_cast<Rank>((me + d) % P);
+          reqs.push_back(rb.isend(peer, kCgTagSeg + 1,
+                                  static_cast<Bytes>(myn) * kD));
+        }
+        rb.waitall(std::move(reqs));
+      }
+    }
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- EP ----
+
+std::int64_t epPairs(Class c) {
+  switch (c) {
+    case Class::S: return 1LL << 16;
+    case Class::A: return 1LL << 19;
+    case Class::B: return 1LL << 21;
+  }
+  return 1LL << 16;
+}
+
+SkeletonBuildResult buildEp(const SkeletonParams& p) {
+  const std::int64_t pairs =
+      p.iterations > 0 ? static_cast<std::int64_t>(p.iterations)
+                       : epPairs(p.cls);
+  const int P = p.nranks;
+  const BlockDist dist = blockDistribute(static_cast<int>(pairs), P);
+  Builder b("ep", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    const std::int64_t my_pairs =
+        dist.size[static_cast<std::size_t>(me)];
+    rb.site("ep.sample");
+    rb.compute(p.cost.flops(80 * my_pairs));
+    rb.site("ep.reduce");
+    rb.mpiAllreduce(2);   // (sx, sy)
+    rb.mpiAllreduce(10);  // annulus counts
+    rb.mpiAllreduce(1);   // accepted count
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- IS ----
+
+struct IsSizes {
+  std::int64_t keys;
+  int max_key;
+  int niter;
+};
+
+IsSizes isSizes(Class c) {
+  switch (c) {
+    case Class::S: return {1LL << 15, 1 << 11, 3};
+    case Class::A: return {1LL << 18, 1 << 14, 3};
+    case Class::B: return {1LL << 20, 1 << 16, 3};
+  }
+  return {1LL << 15, 1 << 11, 3};
+}
+
+SkeletonBuildResult buildIs(const SkeletonParams& p) {
+  const IsSizes sz = isSizes(p.cls);
+  const int niter = p.iterations > 0 ? p.iterations : sz.niter;
+  const int P = p.nranks;
+  const BlockDist dist = blockDistribute(static_cast<int>(sz.keys), P);
+  Builder b("is", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    const int my_n = dist.size[static_cast<std::size_t>(me)];
+    rb.site("is.init");
+    rb.compute(p.cost.flops(20LL * my_n));
+    for (int it = 0; it < niter; ++it) {
+      rb.site("is.histogram");
+      rb.compute(p.cost.flops(2LL * my_n));
+      rb.mpiAllreduce(sz.max_key);
+      rb.compute(p.cost.flops(sz.max_key));
+      rb.site("is.pack");
+      rb.compute(p.cost.flops(6LL * my_n));
+      rb.site("is.exchange");
+      rb.mpiAlltoall(static_cast<Bytes>(sizeof(double)));
+      rb.mpiAlltoallvAny();  // bucket payloads are data-dependent
+      rb.site("is.sort");
+      rb.compute(p.cost.flops(20LL * my_n));
+      rb.site("is.verify");
+      rb.mpiAllreduce(1);  // global count (Sum)
+      rb.mpiAllreduce(1);  // global ok (Min)
+    }
+    rb.site("is.checksum");
+    rb.mpiAllreduce(1);
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- FT ----
+
+struct FtSizes {
+  int nx, ny, nz, niter;
+};
+
+FtSizes ftSizes(Class c) {
+  switch (c) {
+    case Class::S: return {32, 32, 32, 2};
+    case Class::A: return {64, 64, 64, 3};
+    case Class::B: return {128, 64, 64, 3};
+  }
+  return {32, 32, 32, 2};
+}
+
+SkeletonBuildResult buildFt(const SkeletonParams& p) {
+  const FtSizes sz = ftSizes(p.cls);
+  const int niter = p.iterations > 0 ? p.iterations : sz.niter;
+  const int P = p.nranks;
+  if (sz.nx % P != 0 || sz.nz % P != 0) {
+    return fail("ft: nx and nz must be divisible by the rank count");
+  }
+  const int lnz = sz.nz / P, lnx = sz.nx / P, ny = sz.ny;
+  const std::int64_t npts = static_cast<std::int64_t>(lnz) * ny * sz.nx;
+  const Bytes block_bytes =
+      static_cast<Bytes>(lnz) * ny * lnx * kC;
+  Builder b("ft", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    auto transpose = [&] {
+      rb.compute(p.cost.flops(2 * npts));  // pack
+      rb.mpiAlltoall(block_bytes);
+      rb.compute(p.cost.flops(2 * npts));  // unpack
+    };
+    rb.site("ft.init");
+    rb.compute(p.cost.flops(12 * npts));
+    rb.site("ft.fft_fwd");
+    rb.compute(p.cost.flops(static_cast<std::int64_t>(lnz) * ny *
+                            fftFlops(sz.nx)));
+    rb.compute(p.cost.flops(static_cast<std::int64_t>(lnz) * sz.nx *
+                            fftFlops(ny)));
+    rb.site("ft.transpose");
+    transpose();
+    rb.site("ft.fft_fwd");
+    rb.compute(p.cost.flops(static_cast<std::int64_t>(lnx) * ny *
+                            fftFlops(sz.nz)));
+    rb.site("ft.parseval");
+    rb.compute(p.cost.flops(3 * npts));
+    rb.mpiAllreduce(2);
+    for (int step = 1; step <= niter; ++step) {
+      rb.site("ft.evolve");
+      rb.compute(p.cost.flops(12 * npts));
+      rb.site("ft.fft_inv");
+      rb.compute(p.cost.flops(static_cast<std::int64_t>(lnx) * ny *
+                              fftFlops(sz.nz)));
+      rb.site("ft.transpose");
+      transpose();
+      rb.site("ft.fft_inv");
+      rb.compute(p.cost.flops(static_cast<std::int64_t>(lnz) * sz.nx *
+                              fftFlops(ny)));
+      rb.compute(p.cost.flops(static_cast<std::int64_t>(lnz) * ny *
+                              (fftFlops(sz.nx) + 2 * sz.nx)));
+      rb.site("ft.checksum");
+      rb.compute(p.cost.flops(4 * 1024 / P));
+      rb.mpiReduce(2, 0);
+      rb.mpiBcast(2 * kD, 0);
+    }
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- LU ----
+
+struct LuSizes {
+  int nx, ny, nz, niter;
+};
+
+LuSizes luSizes(Class c) {
+  switch (c) {
+    case Class::S: return {16, 16, 8, 3};
+    case Class::A: return {32, 32, 16, 3};
+    case Class::B: return {48, 48, 24, 3};
+  }
+  return {16, 16, 8, 3};
+}
+
+constexpr int kLuTagFaceW = 200, kLuTagFaceN = 201;
+constexpr int kLuTagSweepCol = 210, kLuTagSweepRow = 211;
+constexpr int kLuTagBackCol = 212, kLuTagBackRow = 213;
+constexpr int kNcomp = 5;
+
+SkeletonBuildResult buildLu(const SkeletonParams& p) {
+  const LuSizes sz = luSizes(p.cls);
+  const int niter = p.iterations > 0 ? p.iterations : sz.niter;
+  const int P = p.nranks;
+  const Grid2D pg = factor2d(P);
+  if (sz.nx % pg.px != 0 || sz.ny % pg.py != 0) {
+    return fail("lu: grid is not divisible by the 2-D process grid");
+  }
+  Builder b("lu", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    const int pi = static_cast<int>(me) % pg.px;
+    const int pj = static_cast<int>(me) / pg.px;
+    const Rank west = pi > 0 ? me - 1 : -1;
+    const Rank east = pi < pg.px - 1 ? me + 1 : -1;
+    const Rank north = pj > 0 ? me - pg.px : -1;
+    const Rank south = pj < pg.py - 1 ? me + pg.px : -1;
+    const int lnx = sz.nx / pg.px, lny = sz.ny / pg.py, nz = sz.nz;
+    const int fx = lny * nz * kNcomp, fy = lnx * nz * kNcomp;
+    const int col = lny * kNcomp, row = lnx * kNcomp;
+    auto exchangeFaces = [&] {
+      rb.site("lu.exchange");
+      std::vector<int> reqs;
+      if (west >= 0) reqs.push_back(rb.irecv(west, kLuTagFaceW, fx * kD));
+      if (east >= 0) reqs.push_back(rb.irecv(east, kLuTagFaceW, fx * kD));
+      if (north >= 0) reqs.push_back(rb.irecv(north, kLuTagFaceN, fy * kD));
+      if (south >= 0) reqs.push_back(rb.irecv(south, kLuTagFaceN, fy * kD));
+      if (west >= 0) reqs.push_back(rb.isend(west, kLuTagFaceW, fx * kD));
+      if (east >= 0) reqs.push_back(rb.isend(east, kLuTagFaceW, fx * kD));
+      if (north >= 0) reqs.push_back(rb.isend(north, kLuTagFaceN, fy * kD));
+      if (south >= 0) reqs.push_back(rb.isend(south, kLuTagFaceN, fy * kD));
+      rb.compute(p.cost.flops(4LL * (fx + fy)));
+      rb.waitall(std::move(reqs));
+      rb.compute(p.cost.flops(2LL * (fx + fy)));
+    };
+    auto residualNorm = [&] {
+      rb.site("lu.residual");
+      rb.compute(p.cost.flops(12LL * lnx * lny * nz * kNcomp));
+      rb.mpiAllreduce(1);
+    };
+    auto sweep = [&](bool forward) {
+      rb.site(forward ? "lu.sweep_fwd" : "lu.sweep_bwd");
+      const Rank up_x = forward ? west : east;
+      const Rank dn_x = forward ? east : west;
+      const Rank up_y = forward ? north : south;
+      const Rank dn_y = forward ? south : north;
+      const int ctag = forward ? kLuTagSweepCol : kLuTagBackCol;
+      const int rtag = forward ? kLuTagSweepRow : kLuTagBackRow;
+      for (int k = 0; k < nz; ++k) {
+        if (up_x >= 0) rb.recv(up_x, ctag, col * kD);
+        if (up_y >= 0) rb.recv(up_y, rtag, row * kD);
+        rb.compute(p.cost.flops(9LL * lnx * lny * kNcomp));
+        if (dn_x >= 0) rb.send(dn_x, ctag, col * kD);
+        if (dn_y >= 0) rb.send(dn_y, rtag, row * kD);
+      }
+    };
+    rb.site("lu.init");
+    rb.compute(p.cost.flops(6LL * lnx * lny * nz * kNcomp));
+    exchangeFaces();
+    residualNorm();
+    for (int it = 0; it < niter; ++it) {
+      sweep(true);
+      sweep(false);
+      exchangeFaces();
+      residualNorm();
+    }
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- SP ----
+
+struct SpSizes {
+  int nx, ny, nz, niter;
+};
+
+SpSizes spSizes(Class c) {
+  switch (c) {
+    case Class::S: return {24, 24, 16, 3};
+    case Class::A: return {48, 48, 48, 3};
+    case Class::B: return {72, 72, 48, 3};
+  }
+  return {24, 24, 16, 3};
+}
+
+constexpr int kSpTagFace = 300;
+constexpr int kSpTagFwdX = 310, kSpTagBwdX = 340;
+constexpr int kSpTagFwdY = 370, kSpTagBwdY = 400;
+constexpr int kSpStages = 3;  // SpParams::stages default (nas_run)
+constexpr int kFwdDoubles = 14, kBwdDoubles = 10;
+
+SkeletonBuildResult buildSp(const SkeletonParams& p) {
+  const SpSizes sz = spSizes(p.cls);
+  const int niter = p.iterations > 0 ? p.iterations : sz.niter;
+  const int P = p.nranks;
+  const Grid2D pg = factor2d(P);
+  if (sz.nx % pg.px != 0 || sz.ny % pg.py != 0) {
+    return fail("sp: grid is not divisible by the 2-D process grid");
+  }
+  Builder b("sp", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    const int pi = static_cast<int>(me) % pg.px;
+    const int pj = static_cast<int>(me) / pg.px;
+    const Rank west = pi > 0 ? me - 1 : -1;
+    const Rank east = pi < pg.px - 1 ? me + 1 : -1;
+    const Rank north = pj > 0 ? me - pg.px : -1;
+    const Rank south = pj < pg.py - 1 ? me + pg.px : -1;
+    const int lnx = sz.nx / pg.px, lny = sz.ny / pg.py, nz = sz.nz;
+    const std::int64_t bp = static_cast<std::int64_t>(lnx) * lny * nz;
+    const int xface = 2 * lny * nz * kNcomp;
+    const int yface = 2 * lnx * nz * kNcomp;
+
+    auto copyFaces = [&] {
+      rb.site("sp.copy_faces");
+      std::vector<int> reqs;
+      if (west >= 0) reqs.push_back(rb.irecv(west, kSpTagFace, xface * kD));
+      if (east >= 0) reqs.push_back(rb.irecv(east, kSpTagFace, xface * kD));
+      if (north >= 0) reqs.push_back(rb.irecv(north, kSpTagFace, yface * kD));
+      if (south >= 0) reqs.push_back(rb.irecv(south, kSpTagFace, yface * kD));
+      if (west >= 0) reqs.push_back(rb.isend(west, kSpTagFace, xface * kD));
+      if (east >= 0) reqs.push_back(rb.isend(east, kSpTagFace, xface * kD));
+      if (north >= 0) reqs.push_back(rb.isend(north, kSpTagFace, yface * kD));
+      if (south >= 0) reqs.push_back(rb.isend(south, kSpTagFace, yface * kD));
+      rb.compute(p.cost.flops(2LL * (xface + yface)));
+      rb.waitall(std::move(reqs));
+      rb.compute(p.cost.flops(2LL * (xface + yface)));
+    };
+
+    auto normOf = [&] {
+      rb.site("sp.norm");
+      rb.compute(p.cost.flops(2 * bp * kNcomp));
+      rb.mpiAllreduce(1);
+    };
+
+    // Mirrors runSp's stage-pipelined solveBatch (nas_run defaults:
+    // stages=3, unmodified, so the Iprobe chunking collapses into one
+    // compute per window).
+    auto solveBatch = [&](Rank up, Rank dn, int tag_fwd, int tag_bwd,
+                          int lines, int n) {
+      const int S = std::max(1, std::min(kSpStages, lines));
+      auto stage = [&](int s) {
+        return std::pair<int, int>{lines * s / S, lines * (s + 1) / S};
+      };
+      auto span = [&](int s) {
+        const auto [l0, l1] = stage(s);
+        return l1 - l0;
+      };
+      std::vector<int> rf(static_cast<std::size_t>(S), -1);
+      std::vector<int> sf(static_cast<std::size_t>(S), -1);
+      std::vector<int> rb_req(static_cast<std::size_t>(S), -1);
+      std::vector<int> sb(static_cast<std::size_t>(S), -1);
+      if (up >= 0) {
+        for (int s = 0; s < S; ++s) {
+          rf[static_cast<std::size_t>(s)] = rb.irecv(
+              up, tag_fwd + s,
+              static_cast<Bytes>(span(s)) * kFwdDoubles * kD);
+        }
+      }
+      auto computeLhsStage = [&](int s) {
+        rb.compute(p.cost.flops(48LL * span(s) * n * kNcomp));
+      };
+      auto emitStage = [&](int s) {
+        rb.compute(p.cost.flops(10LL * span(s) * n * kNcomp));
+        if (dn >= 0) {
+          sf[static_cast<std::size_t>(s)] = rb.isend(
+              dn, tag_fwd + s,
+              static_cast<Bytes>(span(s)) * kFwdDoubles * kD);
+        }
+      };
+      auto bookkeeping = [&](int s) {
+        rb.compute(p.cost.flops(14LL * span(s) * n * kNcomp));
+      };
+      auto emitBack = [&](int s) {
+        rb.compute(p.cost.flops(4LL * span(s) * n * kNcomp));
+        if (up >= 0) {
+          sb[static_cast<std::size_t>(s)] = rb.isend(
+              up, tag_bwd + s,
+              static_cast<Bytes>(span(s)) * kBwdDoubles * kD);
+        }
+      };
+      if (dn < 0) {
+        if (up >= 0) computeLhsStage(0);
+        for (int s = 0; s < S; ++s) {
+          if (up < 0) {
+            computeLhsStage(s);
+          } else {
+            if (s + 1 < S) computeLhsStage(s + 1);
+            rb.wait(rf[static_cast<std::size_t>(s)]);
+          }
+          emitStage(s);
+          bookkeeping(s);
+          emitBack(s);
+        }
+      } else {
+        for (int s = 0; s < S; ++s) {
+          rb_req[static_cast<std::size_t>(s)] = rb.irecv(
+              dn, tag_bwd + s,
+              static_cast<Bytes>(span(s)) * kBwdDoubles * kD);
+        }
+        if (up < 0) {
+          for (int s = 0; s < S; ++s) {
+            computeLhsStage(s);
+            emitStage(s);
+          }
+        } else {
+          computeLhsStage(0);
+          for (int s = 0; s < S; ++s) {
+            if (s + 1 < S) computeLhsStage(s + 1);
+            rb.wait(rf[static_cast<std::size_t>(s)]);
+            emitStage(s);
+          }
+        }
+        bookkeeping(0);
+        for (int s = 0; s < S; ++s) {
+          if (s + 1 < S) bookkeeping(s + 1);
+          rb.wait(rb_req[static_cast<std::size_t>(s)]);
+          emitBack(s);
+        }
+      }
+      if (dn >= 0) rb.waitall(std::move(sf));
+      if (up >= 0) rb.waitall(std::move(sb));
+    };
+
+    auto directional = [&](const char* site, Rank up, Rank dn, int tf,
+                           int tb, int lines, int n) {
+      rb.site(site);
+      rb.compute(p.cost.flops(2 * bp * kNcomp));
+      solveBatch(up, dn, tf, tb, lines, n);
+      rb.compute(p.cost.flops(2 * bp * kNcomp));
+    };
+
+    rb.site("sp.init");
+    rb.compute(p.cost.flops(8LL * lnx * lny * nz * kNcomp));
+    for (int step = 0; step < niter; ++step) {
+      copyFaces();
+      rb.site("sp.rhs");
+      rb.compute(p.cost.flops(25 * bp * kNcomp));
+      normOf();
+      directional("sp.x_solve", west, east, kSpTagFwdX, kSpTagBwdX,
+                  lny * nz, lnx);
+      directional("sp.y_solve", north, south, kSpTagFwdY, kSpTagBwdY,
+                  lnx * nz, lny);
+      directional("sp.z_solve", -1, -1, 0, 0, lnx * lny, nz);
+      normOf();
+      rb.site("sp.add");
+      rb.compute(p.cost.flops(bp * kNcomp));
+    }
+    normOf();
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- BT ----
+
+struct BtSizes {
+  int nx, ny, nz, niter;
+};
+
+BtSizes btSizes(Class c) {
+  switch (c) {
+    case Class::S: return {24, 24, 12, 2};
+    case Class::A: return {36, 36, 16, 3};
+    case Class::B: return {48, 48, 24, 3};
+  }
+  return {24, 24, 12, 2};
+}
+
+constexpr int kBtTagFace = 400;
+constexpr int kBtTagFwdX = 410, kBtTagBwdX = 411;
+constexpr int kBtTagFwdY = 412, kBtTagBwdY = 413;
+constexpr int kBtFwdDoubles = 30, kBtBwdDoubles = 5;  // 5x5 block + rhs / rhs
+
+SkeletonBuildResult buildBt(const SkeletonParams& p) {
+  const BtSizes sz = btSizes(p.cls);
+  const int niter = p.iterations > 0 ? p.iterations : sz.niter;
+  const int P = p.nranks;
+  const Grid2D pg = factor2d(P);
+  if (sz.nx % pg.px != 0 || sz.ny % pg.py != 0) {
+    return fail("bt: grid is not divisible by the 2-D process grid");
+  }
+  Builder b("bt", P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    const int pi = static_cast<int>(me) % pg.px;
+    const int pj = static_cast<int>(me) / pg.px;
+    const Rank west = pi > 0 ? me - 1 : -1;
+    const Rank east = pi < pg.px - 1 ? me + 1 : -1;
+    const Rank north = pj > 0 ? me - pg.px : -1;
+    const Rank south = pj < pg.py - 1 ? me + pg.px : -1;
+    const int lnx = sz.nx / pg.px, lny = sz.ny / pg.py, nz = sz.nz;
+    const std::int64_t bp = static_cast<std::int64_t>(lnx) * lny * nz;
+    const int xface = lny * nz * kNcomp;
+    const int yface = lnx * nz * kNcomp;
+
+    auto copyFaces = [&] {
+      rb.site("bt.copy_faces");
+      std::vector<int> reqs;
+      if (west >= 0) reqs.push_back(rb.irecv(west, kBtTagFace, xface * kD));
+      if (east >= 0) reqs.push_back(rb.irecv(east, kBtTagFace, xface * kD));
+      if (north >= 0) reqs.push_back(rb.irecv(north, kBtTagFace, yface * kD));
+      if (south >= 0) reqs.push_back(rb.irecv(south, kBtTagFace, yface * kD));
+      if (west >= 0) reqs.push_back(rb.isend(west, kBtTagFace, xface * kD));
+      if (east >= 0) reqs.push_back(rb.isend(east, kBtTagFace, xface * kD));
+      if (north >= 0) reqs.push_back(rb.isend(north, kBtTagFace, yface * kD));
+      if (south >= 0) reqs.push_back(rb.isend(south, kBtTagFace, yface * kD));
+      rb.compute(p.cost.flops(2LL * (xface + yface)));
+      rb.waitall(std::move(reqs));
+      rb.compute(p.cost.flops(2LL * (xface + yface)));
+    };
+
+    auto normOf = [&] {
+      rb.site("bt.norm");
+      rb.compute(p.cost.flops(2 * bp * kNcomp));
+      rb.mpiAllreduce(1);
+    };
+
+    auto solveBatch = [&](Rank up, Rank dn, int tag_fwd, int tag_bwd,
+                          int blines, int bn) {
+      int r_fwd = -1, s_fwd = -1, r_bwd = -1, s_bwd = -1;
+      if (up >= 0) {
+        r_fwd = rb.irecv(up, tag_fwd,
+                         static_cast<Bytes>(blines) * kBtFwdDoubles * kD);
+      }
+      rb.compute(p.cost.flops(40LL * blines * bn * kNcomp));  // lhs window
+      if (up >= 0) rb.wait(r_fwd);
+      rb.compute(p.cost.flops(120LL * blines * bn * kNcomp));
+      if (dn >= 0) {
+        s_fwd = rb.isend(dn, tag_fwd,
+                         static_cast<Bytes>(blines) * kBtFwdDoubles * kD);
+        r_bwd = rb.irecv(dn, tag_bwd,
+                         static_cast<Bytes>(blines) * kBtBwdDoubles * kD);
+      }
+      rb.compute(p.cost.flops(8LL * blines * bn * kNcomp));  // bookkeeping
+      if (dn >= 0) rb.wait(r_bwd);
+      rb.compute(p.cost.flops(30LL * blines * bn * kNcomp));
+      if (up >= 0) {
+        s_bwd = rb.isend(up, tag_bwd,
+                         static_cast<Bytes>(blines) * kBtBwdDoubles * kD);
+      }
+      if (dn >= 0) rb.wait(s_fwd);
+      if (up >= 0) rb.wait(s_bwd);
+    };
+
+    auto runDirection = [&](char dir) {
+      const bool isx = dir == 'x', isy = dir == 'y';
+      rb.site(isx ? "bt.x_solve" : (isy ? "bt.y_solve" : "bt.z_solve"));
+      const int n = isx ? lnx : (isy ? lny : nz);
+      const int lines = isx ? lny * nz : (isy ? lnx * nz : lnx * lny);
+      rb.compute(p.cost.flops(2 * bp * kNcomp));
+      if (isx) {
+        solveBatch(west, east, kBtTagFwdX, kBtTagBwdX, lines, n);
+      } else if (isy) {
+        solveBatch(north, south, kBtTagFwdY, kBtTagBwdY, lines, n);
+      } else {
+        solveBatch(-1, -1, 0, 0, lines, n);
+      }
+      rb.compute(p.cost.flops(2 * bp * kNcomp));
+    };
+
+    rb.site("bt.init");
+    rb.compute(p.cost.flops(8 * bp * kNcomp));
+    for (int step = 0; step < niter; ++step) {
+      copyFaces();
+      rb.site("bt.rhs");
+      rb.compute(p.cost.flops(10 * bp * kNcomp));
+      normOf();
+      runDirection('x');
+      runDirection('y');
+      runDirection('z');
+      normOf();
+      rb.site("bt.add");
+      rb.compute(p.cost.flops(bp * kNcomp));
+    }
+    normOf();
+  }
+  return finish(std::move(b));
+}
+
+// ---------------------------------------------------------------- MG ----
+
+struct MgSizes {
+  int n, cycles;
+};
+
+MgSizes mgSizes(Class c) {
+  switch (c) {
+    case Class::S: return {16, 2};
+    case Class::A: return {32, 3};
+    case Class::B: return {64, 3};
+  }
+  return {16, 2};
+}
+
+constexpr int kMgTagExch = 500;  // + level*8 + dir
+constexpr int kMgCoarseSweeps = 4;
+
+struct MgLevel {
+  int lnx = 0, lny = 0, lnz = 0;
+  [[nodiscard]] std::int64_t points() const {
+    return static_cast<std::int64_t>(lnx) * lny * lnz;
+  }
+};
+
+int mgFaceCount(const MgLevel& L, int dir) {
+  switch (dir / 2) {
+    case 0: return L.lny * L.lnz;
+    case 1: return L.lnx * L.lnz;
+    default: return L.lnx * L.lny;
+  }
+}
+
+int mgFaceCountIncl(const MgLevel& L, int dir) {
+  switch (dir / 2) {
+    case 0: return L.lny * L.lnz;
+    case 1: return (L.lnx + 2) * L.lnz;
+    default: return (L.lnx + 2) * (L.lny + 2);
+  }
+}
+
+SkeletonBuildResult buildMg(const SkeletonParams& p) {
+  const MgSizes sz = mgSizes(p.cls);
+  const int cycles = p.iterations > 0 ? p.iterations : sz.cycles;
+  const int P = p.nranks;
+  const Grid3D pg = factor3d(P);
+  std::string variant = p.variant.empty() ? "armci-nb" : p.variant;
+  const bool is_mpi = variant == "mpi";
+  const bool nonblocking = variant == "armci-nb";
+  if (!is_mpi && variant != "armci" && variant != "armci-nb") {
+    return fail("mg: unknown variant '" + variant +
+                "' (want mpi|armci|armci-nb)");
+  }
+
+  std::vector<MgLevel> geom;
+  for (int n = sz.n;; n /= 2) {
+    if (n % pg.px != 0 || n % pg.py != 0 || n % pg.pz != 0) break;
+    const MgLevel L{n / pg.px, n / pg.py, n / pg.pz};
+    if (L.lnx < 1 || L.lny < 1 || L.lnz < 1) break;
+    geom.push_back(L);
+    if (n / 2 < 4) break;
+  }
+  const int nlevels = static_cast<int>(geom.size());
+  if (nlevels == 0) return fail("mg: grid does not fit the process grid");
+
+  Builder b(is_mpi ? "mg-mpi" : (nonblocking ? "mg-armci-nb" : "mg-armci"),
+            P);
+  for (Rank me = 0; me < P; ++me) {
+    RankBuilder& rb = b.rank(me);
+    auto neighbor = [&](int dir) -> Rank {
+      const int cx = static_cast<int>(me) % pg.px;
+      const int cy = (static_cast<int>(me) / pg.px) % pg.py;
+      const int cz = static_cast<int>(me) / (pg.px * pg.py);
+      int nx = cx, ny = cy, nzc = cz;
+      switch (dir) {
+        case 0: nx = cx - 1; break;
+        case 1: nx = cx + 1; break;
+        case 2: ny = cy - 1; break;
+        case 3: ny = cy + 1; break;
+        case 4: nzc = cz - 1; break;
+        case 5: nzc = cz + 1; break;
+        default: break;
+      }
+      if (nx < 0 || nx >= pg.px || ny < 0 || ny >= pg.py || nzc < 0 ||
+          nzc >= pg.pz) {
+        return -1;
+      }
+      return static_cast<Rank>((nzc * pg.py + ny) * pg.px + nx);
+    };
+    auto opposite = [](int dir) { return dir ^ 1; };
+
+    // `begin`/`end` mirror the staged 6-face exchange; `pending` carries
+    // the MPI request ids from begin to the matching end.
+    std::vector<int> pending;
+    auto begin = [&](int l) {
+      const MgLevel& L = geom[static_cast<std::size_t>(l)];
+      if (is_mpi) {
+        pending.clear();
+        for (int d = 0; d < 6; ++d) {
+          const Rank nb = neighbor(d);
+          if (nb < 0) continue;
+          // The receive buffer is the ghost-inclusive inbox, but the wire
+          // message (what MATCH records carry) is the sender's packed
+          // face — model the message, not the buffer.
+          pending.push_back(rb.irecv(
+              nb, kMgTagExch + l * 8 + d,
+              static_cast<Bytes>(mgFaceCount(L, d)) * kD));
+        }
+        for (int d = 0; d < 6; ++d) {
+          const Rank nb = neighbor(d);
+          if (nb < 0) continue;
+          pending.push_back(rb.isend(
+              nb, kMgTagExch + l * 8 + opposite(d),
+              static_cast<Bytes>(mgFaceCount(L, d)) * kD));
+        }
+      } else {
+        for (int d = 0; d < 6; ++d) {
+          const Rank nb = neighbor(d);
+          if (nb < 0) continue;
+          rb.put(nb, static_cast<Bytes>(mgFaceCount(L, d)) * kD,
+                 nonblocking);
+        }
+      }
+    };
+    auto end = [&] {
+      if (is_mpi) {
+        rb.waitall(std::move(pending));
+        pending.clear();
+      } else {
+        if (nonblocking) rb.fence(0);
+        rb.barrier();  // everyone's puts are in the inboxes
+        rb.barrier();  // inboxes free for reuse
+      }
+    };
+    auto seq = [&](int l) {
+      const MgLevel& L = geom[static_cast<std::size_t>(l)];
+      for (int axis = 0; axis < 3; ++axis) {
+        if (is_mpi) {
+          std::vector<int> rr;
+          for (int s = 0; s < 2; ++s) {
+            const int d = axis * 2 + s;
+            const Rank nb = neighbor(d);
+            if (nb < 0) continue;
+            rr.push_back(rb.irecv(
+                nb, kMgTagExch + l * 8 + d,
+                static_cast<Bytes>(mgFaceCountIncl(L, d)) * kD));
+          }
+          for (int s = 0; s < 2; ++s) {
+            const int d = axis * 2 + s;
+            const Rank nb = neighbor(d);
+            if (nb < 0) continue;
+            rr.push_back(rb.isend(
+                nb, kMgTagExch + l * 8 + opposite(d),
+                static_cast<Bytes>(mgFaceCountIncl(L, d)) * kD));
+          }
+          rb.waitall(std::move(rr));
+        } else {
+          for (int s = 0; s < 2; ++s) {
+            const int d = axis * 2 + s;
+            const Rank nb = neighbor(d);
+            if (nb < 0) continue;
+            rb.put(nb, static_cast<Bytes>(mgFaceCountIncl(L, d)) * kD,
+                   false);
+          }
+          rb.barrier();
+          rb.barrier();
+        }
+      }
+    };
+    auto sum = [&] {
+      if (is_mpi) {
+        rb.mpiAllreduce(1);
+      } else {
+        rb.barrier();  // Armci::allreduceSum = three barrier rounds
+        rb.barrier();
+        rb.barrier();
+      }
+    };
+
+    auto smooth = [&](int l) {
+      const MgLevel& L = geom[static_cast<std::size_t>(l)];
+      rb.site("mg.smooth");
+      begin(l);
+      if (L.lnx >= 3 && L.lny >= 3 && L.lnz >= 3) {
+        rb.compute(p.cost.flops(10LL * (L.lnx - 2) * (L.lny - 2) *
+                                (L.lnz - 2)));
+      }
+      end();
+      rb.compute(p.cost.flops(12 * L.points()));
+    };
+
+    std::function<void(int)> vcycle = [&](int l) {
+      const MgLevel& L = geom[static_cast<std::size_t>(l)];
+      if (l == nlevels - 1) {
+        for (int s = 0; s < kMgCoarseSweeps; ++s) smooth(l);
+        return;
+      }
+      smooth(l);
+      smooth(l);
+      rb.site("mg.residual");
+      begin(l);
+      if (L.lnx >= 3 && L.lny >= 3 && L.lnz >= 3) {
+        rb.compute(p.cost.flops(9LL * (L.lnx - 2) * (L.lny - 2) *
+                                (L.lnz - 2)));
+      }
+      end();
+      rb.compute(p.cost.flops(9 * L.points()));
+      const MgLevel& C = geom[static_cast<std::size_t>(l) + 1];
+      rb.site("mg.restrict");
+      begin(l);
+      const int cx2 = C.lnx - 1, cy2 = C.lny - 1, cz2 = C.lnz - 1;
+      if (cx2 >= 1 && cy2 >= 1 && cz2 >= 1) {
+        rb.compute(p.cost.flops(9LL * cx2 * cy2 * cz2));
+      }
+      end();
+      rb.compute(p.cost.flops(9 * C.points()));
+      vcycle(l + 1);
+      rb.site("mg.prolong");
+      seq(l + 1);
+      rb.compute(p.cost.flops(12 * L.points()));
+      smooth(l);
+      smooth(l);
+    };
+
+    auto residualNorm = [&] {
+      const MgLevel& L = geom[0];
+      rb.site("mg.norm");
+      begin(0);
+      end();
+      rb.compute(p.cost.flops(9 * L.points()));
+      rb.compute(p.cost.flops(2 * L.points()));
+      sum();
+    };
+
+    rb.site("mg.init");
+    rb.compute(p.cost.flops(8 * geom[0].points()));
+    residualNorm();
+    for (int c = 0; c < cycles; ++c) vcycle(0);
+    residualNorm();
+  }
+  return finish(std::move(b));
+}
+
+}  // namespace
+
+SkeletonBuildResult buildNasSkeleton(const std::string& kernel,
+                                     const SkeletonParams& params) {
+  if (params.nranks < 1) return fail("need at least one rank");
+  if (kernel == "cg") return buildCg(params);
+  if (kernel == "ep") return buildEp(params);
+  if (kernel == "is") return buildIs(params);
+  if (kernel == "ft") return buildFt(params);
+  if (kernel == "lu") return buildLu(params);
+  if (kernel == "sp") return buildSp(params);
+  if (kernel == "bt") return buildBt(params);
+  if (kernel == "mg") return buildMg(params);
+  std::ostringstream os;
+  os << "unknown kernel '" << kernel << "' (want bt|cg|ep|ft|is|lu|mg|sp)";
+  return fail(os.str());
+}
+
+const std::vector<std::string>& nasSkeletonKernels() {
+  static const std::vector<std::string> kKernels = {
+      "bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"};
+  return kKernels;
+}
+
+}  // namespace ovp::nas

@@ -1,0 +1,103 @@
+#include "skeleton/conform.hpp"
+
+#include <sstream>
+
+namespace ovp::skel {
+
+namespace {
+
+using analysis::DiagCode;
+using analysis::Diagnostic;
+using analysis::Severity;
+
+Diagnostic violation(Rank rank, std::string detail, std::string group) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.code = DiagCode::ConformMismatch;
+  d.rank = rank;
+  d.detail = std::move(detail);
+  d.group = std::move(group);
+  return d;
+}
+
+}  // namespace
+
+ConformResult runConform(const Skeleton& skel, const MatchRelation& rel,
+                         const trace::Collector& collector) {
+  ConformResult result;
+  std::vector<Diagnostic> diags;
+
+  if (collector.nranks() != skel.nranks) {
+    std::ostringstream os;
+    os << "trace has " << collector.nranks() << " ranks but the skeleton "
+       << "declares " << skel.nranks;
+    diags.push_back(violation(-1, os.str(), ""));
+    ++result.violations;
+    result.diagnostics = std::move(diags);
+    return result;
+  }
+
+  for (Rank r = 0; r < collector.nranks(); ++r) {
+    const trace::TraceRing& ring = collector.ring(r);
+    result.dropped += ring.dropped();
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const trace::Record& rec = ring.at(i);
+      switch (rec.kind) {
+        case trace::RecordKind::Match: {
+          ++result.match_edges;
+          if (rel.admitsMatch(rec.peer, r, rec.tag, rec.bytes)) break;
+          ++result.violations;
+          std::ostringstream os;
+          os << "traced message " << rec.peer << "->" << r << " tag "
+             << rec.tag << " bytes " << rec.bytes
+             << " is not admissible in the skeleton's match relation";
+          std::ostringstream grp;
+          grp << "match|" << rec.peer << '|' << r << '|' << rec.tag << '|'
+              << rec.bytes;
+          diags.push_back(violation(r, os.str(), grp.str()));
+          break;
+        }
+        case trace::RecordKind::RmaPut:
+        case trace::RecordKind::RmaGet: {
+          const bool is_put = rec.kind == trace::RecordKind::RmaPut;
+          ++result.rma_edges;
+          const bool ok = is_put ? rel.admitsPut(r, rec.peer, rec.bytes)
+                                 : rel.admitsGet(r, rec.peer, rec.bytes);
+          if (ok) break;
+          ++result.violations;
+          std::ostringstream os;
+          os << "traced " << (is_put ? "put" : "get") << ' ' << r << "->"
+             << rec.peer << " bytes " << rec.bytes
+             << " is not in the skeleton's " << (is_put ? "put" : "get")
+             << " set";
+          std::ostringstream grp;
+          grp << (is_put ? "put|" : "get|") << r << '|' << rec.peer << '|'
+              << rec.bytes;
+          diags.push_back(violation(r, os.str(), grp.str()));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  if (result.dropped > 0) {
+    Diagnostic d;
+    d.severity = Severity::Note;
+    d.code = DiagCode::TraceIncomplete;
+    d.rank = -1;
+    std::ostringstream os;
+    os << result.dropped
+       << " record(s) were dropped from the trace rings; conformance only "
+          "covers the retained prefix";
+    d.detail = os.str();
+    diags.push_back(std::move(d));
+  }
+
+  result.diagnostics = analysis::dedupDiagnostics(std::move(diags));
+  analysis::sortDiagnostics(result.diagnostics);
+  return result;
+}
+
+}  // namespace ovp::skel

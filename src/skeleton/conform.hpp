@@ -1,0 +1,46 @@
+// Trace conformance: does a dynamic run embed into the static skeleton?
+//
+// Loads the lossless CSV trace any traced run writes (--ovprof-trace=FILE
+// produces FILE.csv, format v2) and verifies that every cross-rank edge
+// the run actually produced is admissible in the skeleton's static match
+// relation:
+//
+//   * every MATCH record (receiver rank, source, tag, bytes) must be
+//     producible by some skeleton send and acceptable by some skeleton
+//     receive on that rank;
+//   * every RMA_PUT / RMA_GET record (origin, target, bytes) must appear
+//     in the skeleton's put/get set.
+//
+// The check is admissibility (observed edge-set is a subset of the static
+// one), not multiset equality, so a skeleton built at one iteration count
+// validates runs at any iteration count — what matters is that no message
+// the run sent is *impossible* in the declared structure.  Wired as a
+// ctest + CI gate over every NAS kernel, this is what keeps the skeleton
+// builders from rotting as the executable kernels evolve.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "skeleton/ir.hpp"
+#include "skeleton/match.hpp"
+#include "trace/collector.hpp"
+
+namespace ovp::skel {
+
+struct ConformResult {
+  std::vector<analysis::Diagnostic> diagnostics;  // deduped, sorted
+  std::int64_t match_edges = 0;   // MATCH records checked
+  std::int64_t rma_edges = 0;     // RMA_PUT / RMA_GET records checked
+  std::int64_t violations = 0;    // raw inadmissible records
+  std::int64_t dropped = 0;       // ring-dropped records (coverage caveat)
+};
+
+/// Checks every relevant record in `collector` against `rel` (built from
+/// the skeleton via buildMatchRelation).  `skel` provides rank-count
+/// validation: a trace from a different job size is one big violation.
+[[nodiscard]] ConformResult runConform(const Skeleton& skel,
+                                       const MatchRelation& rel,
+                                       const trace::Collector& collector);
+
+}  // namespace ovp::skel

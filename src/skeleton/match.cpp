@@ -1,0 +1,328 @@
+#include "skeleton/match.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ovp::skel {
+
+namespace {
+
+using analysis::DiagCode;
+using analysis::Diagnostic;
+using analysis::Severity;
+
+struct SendHalf {
+  OpRef ref;
+  Rank dst = -1;
+  int tag = 0;
+  Bytes bytes = 0;
+  const Op* op = nullptr;
+  bool consumed = false;
+};
+
+struct RecvHalf {
+  OpRef ref;
+  Rank src = -1;  // may be kAnySource
+  int tag = 0;    // may be kAnyTag
+  Bytes bytes = 0;
+  const Op* op = nullptr;
+  bool consumed = false;
+};
+
+struct Halves {
+  // Per source rank, in program order (non-overtaking matching needs it).
+  std::vector<std::vector<SendHalf>> sends;
+  std::vector<std::vector<RecvHalf>> recvs;  // per destination rank
+};
+
+Halves extractHalves(const Skeleton& skel) {
+  Halves h;
+  h.sends.resize(static_cast<std::size_t>(skel.nranks));
+  h.recvs.resize(static_cast<std::size_t>(skel.nranks));
+  for (Rank r = 0; r < skel.nranks; ++r) {
+    const Program& prog = skel.ranks[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      const Op& op = prog.ops[i];
+      const OpRef ref{r, static_cast<std::int32_t>(i)};
+      switch (op.kind) {
+        case OpKind::Send:
+        case OpKind::Isend:
+          h.sends[static_cast<std::size_t>(r)].push_back(
+              {ref, op.peer, op.tag, op.bytes, &op, false});
+          break;
+        case OpKind::Recv:
+        case OpKind::Irecv:
+          h.recvs[static_cast<std::size_t>(r)].push_back(
+              {ref, op.peer, op.tag, op.bytes, &op, false});
+          break;
+        case OpKind::Sendrecv:
+          h.sends[static_cast<std::size_t>(r)].push_back(
+              {ref, op.peer, op.tag, op.bytes, &op, false});
+          h.recvs[static_cast<std::size_t>(r)].push_back(
+              {ref, op.src, op.rtag, op.rbytes, &op, false});
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+[[nodiscard]] bool tagsCompatible(int recv_tag, int send_tag) {
+  return recv_tag == kAnyTag || recv_tag == send_tag;
+}
+
+[[nodiscard]] bool bytesAgree(Bytes a, Bytes b) {
+  return a == kAnyBytes || b == kAnyBytes || a == b;
+}
+
+std::string channelLabel(Rank src, Rank dst, int tag) {
+  std::ostringstream os;
+  os << src << "->" << dst << " tag ";
+  if (tag == kAnyTag) {
+    os << "any";
+  } else {
+    os << tag;
+  }
+  return os.str();
+}
+
+Diagnostic makeDiag(Severity sev, DiagCode code, Rank rank,
+                    const std::string& site, std::string detail,
+                    std::string group) {
+  Diagnostic d;
+  d.severity = sev;
+  d.code = code;
+  d.rank = rank;
+  d.site = site;
+  d.detail = std::move(detail);
+  d.group = std::move(group);
+  return d;
+}
+
+}  // namespace
+
+// ---- MatchRelation ----
+
+void MatchRelation::addSend(Rank src, Rank dst, int tag, Bytes bytes) {
+  sends_[{src, dst, tag}].insert(bytes);
+}
+
+void MatchRelation::addRecv(Rank dst, Rank src, int tag, Bytes bytes) {
+  if (src == kAnySource || tag == kAnyTag) {
+    recv_wild_[dst].emplace_back(src, tag, bytes);
+  } else {
+    recvs_[{src, dst, tag}].insert(bytes);
+  }
+}
+
+void MatchRelation::addPut(Rank origin, Rank target, Bytes bytes) {
+  puts_[{origin, target}].insert(bytes);
+}
+
+void MatchRelation::addGet(Rank origin, Rank target, Bytes bytes) {
+  gets_[{origin, target}].insert(bytes);
+}
+
+bool MatchRelation::setAdmits(const std::map<Key, std::set<Bytes>>& m,
+                              const Key& key, Bytes bytes) {
+  const auto it = m.find(key);
+  if (it == m.end()) return false;
+  return it->second.count(bytes) != 0 || it->second.count(kAnyBytes) != 0;
+}
+
+bool MatchRelation::admitsMatch(Rank src, Rank dst, int tag,
+                                Bytes bytes) const {
+  if (!setAdmits(sends_, {src, dst, tag}, bytes)) return false;
+  if (setAdmits(recvs_, {src, dst, tag}, bytes)) return true;
+  const auto it = recv_wild_.find(dst);
+  if (it == recv_wild_.end()) return false;
+  for (const auto& [psrc, ptag, pbytes] : it->second) {
+    if ((psrc == kAnySource || psrc == src) &&
+        (ptag == kAnyTag || ptag == tag) && bytesAgree(pbytes, bytes)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchRelation::admitsPut(Rank origin, Rank target, Bytes bytes) const {
+  const auto it = puts_.find({origin, target});
+  if (it == puts_.end()) return false;
+  return it->second.count(bytes) != 0 || it->second.count(kAnyBytes) != 0;
+}
+
+bool MatchRelation::admitsGet(Rank origin, Rank target, Bytes bytes) const {
+  const auto it = gets_.find({origin, target});
+  if (it == gets_.end()) return false;
+  return it->second.count(bytes) != 0 || it->second.count(kAnyBytes) != 0;
+}
+
+MatchRelation buildMatchRelation(const Skeleton& skel) {
+  MatchRelation rel;
+  for (Rank r = 0; r < skel.nranks; ++r) {
+    for (const Op& op : skel.ranks[static_cast<std::size_t>(r)].ops) {
+      switch (op.kind) {
+        case OpKind::Send:
+        case OpKind::Isend:
+          rel.addSend(r, op.peer, op.tag, op.bytes);
+          break;
+        case OpKind::Recv:
+        case OpKind::Irecv:
+          rel.addRecv(r, op.peer, op.tag, op.bytes);
+          break;
+        case OpKind::Sendrecv:
+          rel.addSend(r, op.peer, op.tag, op.bytes);
+          rel.addRecv(r, op.src, op.rtag, op.rbytes);
+          break;
+        case OpKind::RmaPut:
+          rel.addPut(r, op.peer, op.bytes);
+          break;
+        case OpKind::RmaGet:
+          rel.addGet(r, op.peer, op.bytes);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return rel;
+}
+
+// ---- runMatch ----
+
+MatchResult runMatch(const Skeleton& skel) {
+  MatchResult result;
+  Halves h = extractHalves(skel);
+  std::vector<Diagnostic> diags;
+
+  // Pass 1: concrete-source receives, matched per (src, dst) channel in
+  // program order, FIFO per tag (MPI non-overtaking).
+  for (Rank d = 0; d < skel.nranks; ++d) {
+    for (RecvHalf& rv : h.recvs[static_cast<std::size_t>(d)]) {
+      if (rv.src == kAnySource) continue;
+      std::vector<SendHalf>& sends =
+          h.sends[static_cast<std::size_t>(rv.src)];
+      for (SendHalf& sd : sends) {
+        if (sd.consumed || sd.dst != d) continue;
+        if (!tagsCompatible(rv.tag, sd.tag)) continue;
+        sd.consumed = true;
+        rv.consumed = true;
+        result.edges.push_back({sd.ref, rv.ref});
+        ++result.matched;
+        if (!bytesAgree(sd.bytes, rv.bytes)) {
+          std::ostringstream os;
+          os << "send " << channelLabel(rv.src, d, sd.tag) << " carries "
+             << sd.bytes << " B but the matching receive posts " << rv.bytes
+             << " B";
+          diags.push_back(makeDiag(
+              Severity::Warning, DiagCode::StaticSizeMismatch, d,
+              rv.op->site, os.str(),
+              "size|" + channelLabel(rv.src, d, sd.tag) + "|" + rv.op->site));
+        }
+        break;
+      }
+    }
+  }
+
+  // Pass 2: wildcard receives consume leftover sends targeting their rank,
+  // in send program order over source ranks ascending (a deterministic
+  // stand-in for the run-time race the wildcard admits).
+  for (Rank d = 0; d < skel.nranks; ++d) {
+    for (RecvHalf& rv : h.recvs[static_cast<std::size_t>(d)]) {
+      if (rv.src != kAnySource || rv.consumed) continue;
+      diags.push_back(makeDiag(
+          Severity::Note, DiagCode::StaticWildcardRecv, d, rv.op->site,
+          "wildcard receive: any sender may match first, so the match "
+          "order is nondeterministic",
+          "wild|" + std::to_string(d) + "|" + rv.op->site));
+      for (Rank s = 0; s < skel.nranks && !rv.consumed; ++s) {
+        for (SendHalf& sd : h.sends[static_cast<std::size_t>(s)]) {
+          if (sd.consumed || sd.dst != d) continue;
+          if (!tagsCompatible(rv.tag, sd.tag)) continue;
+          sd.consumed = true;
+          rv.consumed = true;
+          result.edges.push_back({sd.ref, rv.ref});
+          ++result.matched;
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 3: leftovers.  A channel holding both unmatched sends and
+  // unmatched receives is a tag mismatch (the tags are disjoint, or the
+  // halves would have paired); pure leftovers are unmatched send/receive.
+  for (Rank s = 0; s < skel.nranks; ++s) {
+    for (SendHalf& sd : h.sends[static_cast<std::size_t>(s)]) {
+      if (sd.consumed) continue;
+      RecvHalf* partner = nullptr;
+      for (RecvHalf& rv : h.recvs[static_cast<std::size_t>(sd.dst)]) {
+        if (!rv.consumed && rv.src == s) {
+          partner = &rv;
+          break;
+        }
+      }
+      if (partner != nullptr) {
+        partner->consumed = true;
+        sd.consumed = true;
+        result.unmatched += 2;
+        std::ostringstream os;
+        os << "send " << channelLabel(s, sd.dst, sd.tag)
+           << " can never pair with the leftover receive expecting tag ";
+        if (partner->tag == kAnyTag) {
+          os << "any";
+        } else {
+          os << partner->tag;
+        }
+        diags.push_back(makeDiag(
+            Severity::Error, DiagCode::StaticTagMismatch, s, sd.op->site,
+            os.str(),
+            "tagmm|" + channelLabel(s, sd.dst, sd.tag) + "|" + sd.op->site));
+      }
+    }
+  }
+  for (Rank s = 0; s < skel.nranks; ++s) {
+    for (const SendHalf& sd : h.sends[static_cast<std::size_t>(s)]) {
+      if (sd.consumed) continue;
+      ++result.unmatched;
+      diags.push_back(makeDiag(
+          Severity::Error, DiagCode::StaticUnmatchedSend, s, sd.op->site,
+          "send " + channelLabel(s, sd.dst, sd.tag) +
+              " has no receive that can ever match it",
+          "usend|" + channelLabel(s, sd.dst, sd.tag) + "|" + sd.op->site));
+    }
+  }
+  for (Rank d = 0; d < skel.nranks; ++d) {
+    for (const RecvHalf& rv : h.recvs[static_cast<std::size_t>(d)]) {
+      if (rv.consumed) continue;
+      ++result.unmatched;
+      const Rank src_label = rv.src;
+      std::ostringstream os;
+      os << "receive from ";
+      if (src_label == kAnySource) {
+        os << "any";
+      } else {
+        os << src_label;
+      }
+      os << " on rank " << d << " tag ";
+      if (rv.tag == kAnyTag) {
+        os << "any";
+      } else {
+        os << rv.tag;
+      }
+      os << " has no send that can ever match it";
+      diags.push_back(makeDiag(
+          Severity::Error, DiagCode::StaticUnmatchedRecv, d, rv.op->site,
+          os.str(),
+          "urecv|" + channelLabel(src_label, d, rv.tag) + "|" + rv.op->site));
+    }
+  }
+
+  result.diagnostics = analysis::dedupDiagnostics(std::move(diags));
+  analysis::sortDiagnostics(result.diagnostics);
+  return result;
+}
+
+}  // namespace ovp::skel

@@ -1,0 +1,143 @@
+#include "skeleton/overlap_window.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace ovp::skel {
+
+namespace {
+
+using analysis::DiagCode;
+using analysis::Diagnostic;
+using analysis::Severity;
+
+struct WindowObs {
+  Rank rank = -1;
+  const Op* post = nullptr;
+  DurationNs window = 0;
+  DurationNs priced = 0;
+};
+
+}  // namespace
+
+OverlapWindowResult runOverlapWindow(const Skeleton& skel,
+                                     const overlap::XferTimeTable& table) {
+  OverlapWindowResult result;
+  std::vector<Diagnostic> diags;
+  std::map<std::string, SiteWindow> sites;
+
+  const auto record = [&](Rank rank, const Op& post, DurationNs window) {
+    if (post.bytes == kAnyBytes || post.bytes <= 0) return;
+    const DurationNs priced = table.lookup(post.bytes);
+    if (priced <= 0) return;  // table empty or size unpriceable
+    ++result.windows;
+    SiteWindow& row = sites[post.site];
+    row.site = post.site;
+    ++row.transfers;
+    row.bytes += post.bytes;
+    row.priced += priced;
+    row.window += window;
+    row.bound += std::min(window, priced);
+    if (window <= 0) {
+      ++row.serialized;
+      Diagnostic d;
+      d.severity = Severity::Note;
+      d.code = DiagCode::StaticSerializedWindow;
+      d.rank = rank;
+      d.site = post.site;
+      d.gain = priced;
+      d.group = "ser|" + post.site;
+      std::ostringstream os;
+      os << "no compute between " << opKindName(post.kind)
+         << " and its completion: the " << post.bytes
+         << "-byte transfer is structurally serialized";
+      d.detail = os.str();
+      diags.push_back(std::move(d));
+    } else if (window < priced) {
+      Diagnostic d;
+      d.severity = Severity::Note;
+      d.code = DiagCode::StaticOverlapShortfall;
+      d.rank = rank;
+      d.site = post.site;
+      d.gain = priced - window;
+      d.group = "short|" + post.site;
+      std::ostringstream os;
+      os << "window holds " << window << " ns of compute but the "
+         << post.bytes << "-byte transfer is priced at " << priced
+         << " ns: overlap is structurally bounded at "
+         << (priced > 0 ? 100 * window / priced : 0) << "%";
+      d.detail = os.str();
+      diags.push_back(std::move(d));
+    }
+  };
+
+  for (Rank r = 0; r < skel.nranks; ++r) {
+    const Program& prog = skel.ranks[static_cast<std::size_t>(r)];
+    // Prefix sums of compute cost make every window a subtraction.
+    std::vector<DurationNs> compute_before(prog.ops.size() + 1, 0);
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      compute_before[i + 1] =
+          compute_before[i] +
+          (prog.ops[i].kind == OpKind::Compute ? prog.ops[i].cost : 0);
+    }
+    const auto between = [&](std::size_t post, std::size_t wait) {
+      return compute_before[wait] - compute_before[post + 1];
+    };
+
+    std::map<int, std::size_t> req_post;
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      const Op& op = prog.ops[i];
+      switch (op.kind) {
+        case OpKind::Isend:
+        case OpKind::Irecv:
+          req_post[op.req] = i;
+          break;
+        case OpKind::Wait:
+        case OpKind::Waitall: {
+          const auto handle = [&](int q) {
+            const auto it = req_post.find(q);
+            if (it == req_post.end()) return;
+            const Op& post = prog.ops[it->second];
+            record(r, post, between(it->second, i));
+          };
+          if (op.kind == OpKind::Wait) {
+            handle(op.req);
+          } else {
+            for (const int q : op.reqs) handle(q);
+          }
+          break;
+        }
+        case OpKind::RmaPut:
+        case OpKind::RmaGet: {
+          if (!op.nb) {
+            record(r, op, 0);  // blocking RMA: inherently zero window
+            break;
+          }
+          // Completion is the next fence or barrier on this rank.
+          for (std::size_t j = i + 1; j < prog.ops.size(); ++j) {
+            if (prog.ops[j].kind == OpKind::Fence ||
+                prog.ops[j].kind == OpKind::Barrier) {
+              record(r, op, between(i, j));
+              break;
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  for (auto& [site, row] : sites) result.sites.push_back(std::move(row));
+  std::sort(result.sites.begin(), result.sites.end(),
+            [](const SiteWindow& a, const SiteWindow& b) {
+              return a.site < b.site;
+            });
+  result.diagnostics = analysis::dedupDiagnostics(std::move(diags));
+  analysis::sortDiagnostics(result.diagnostics);
+  return result;
+}
+
+}  // namespace ovp::skel

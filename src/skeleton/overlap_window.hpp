@@ -1,0 +1,62 @@
+// Static overlap-window analysis.
+//
+// The paper's dynamic instrumentation brackets each transfer with
+// CALL/XFER events and reports how much of it hid behind computation; the
+// static counterpart prices each nonblocking post -> wait window against
+// the a-priori transfer-time table (overlap::XferTimeTable, the same table
+// the dynamic bound algorithm uses) and bounds the overlap the *structure*
+// allows, before any run exists:
+//
+//   * a window with no compute between post and wait is SERIALIZED_TRANSFER
+//     shaped (the paper's Fig. 12 case-3 pattern): whatever the runtime
+//     does, nothing can hide behind zero work;
+//   * a window whose compute is shorter than the priced transfer time
+//     bounds achievable overlap at window/xfer_time from structure alone.
+//
+// Both findings are Notes: on a correct code they describe the algorithm
+// (FT's fully-posted alltoall is the canonical case), not a defect, so an
+// unmodified kernel stays exit-0 clean while the sites still surface with
+// their estimated recoverable nanoseconds.  Nonblocking RMA windows close
+// at the next fence or barrier on the origin rank.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "overlap/xfer_table.hpp"
+#include "skeleton/ir.hpp"
+
+namespace ovp::skel {
+
+/// Per-site aggregation of every priced window (text report rows).
+struct SiteWindow {
+  std::string site;
+  std::int64_t transfers = 0;   // priced nonblocking transfers
+  std::int64_t serialized = 0;  // of which zero-compute windows
+  Bytes bytes = 0;              // payload total
+  DurationNs priced = 0;        // sum of xfer_time(bytes)
+  DurationNs window = 0;        // sum of compute inside the windows
+  /// Structural overlap bound: sum of min(window, xfer_time) per transfer.
+  DurationNs bound = 0;
+  /// Bound as a percentage of the priced transfer time.
+  [[nodiscard]] double boundPct() const {
+    return priced > 0 ? 100.0 * static_cast<double>(bound) /
+                            static_cast<double>(priced)
+                      : 0.0;
+  }
+};
+
+struct OverlapWindowResult {
+  std::vector<analysis::Diagnostic> diagnostics;  // deduped, sorted (Notes)
+  std::vector<SiteWindow> sites;                  // sorted by site name
+  std::int64_t windows = 0;  // priced windows across all ranks
+};
+
+/// Prices every nonblocking window in `skel` against `table`.  Transfers
+/// whose size is statically unknown (kAnyBytes) or that the table cannot
+/// price are skipped.
+[[nodiscard]] OverlapWindowResult runOverlapWindow(
+    const Skeleton& skel, const overlap::XferTimeTable& table);
+
+}  // namespace ovp::skel

@@ -1,0 +1,40 @@
+// Deterministic text serialization of communication skeletons.
+//
+// The format is line-oriented, versioned, and canonical (fixed field order,
+// decimal integers, "any" for wildcards), so a skeleton written twice is
+// byte-identical and skeletons can live under tests/golden/ as diffable
+// artifacts.  parse() is the strict inverse: it accepts exactly what
+// write() emits plus blank lines and full-line comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "skeleton/ir.hpp"
+
+namespace ovp::skel {
+
+inline constexpr const char* kSkeletonFormatTag = "# ovprof-skeleton-v1";
+
+/// Writes `skel` in canonical text form.
+void writeSkeleton(const Skeleton& skel, std::ostream& os);
+
+/// Canonical text form as a string (what writeSkeleton emits).
+[[nodiscard]] std::string skeletonToString(const Skeleton& skel);
+
+struct ParseResult {
+  Skeleton skeleton;
+  /// Empty on success, else "line N: problem" (first problem only).
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parses canonical text form (see kSkeletonFormatTag).
+[[nodiscard]] ParseResult parseSkeleton(std::istream& is);
+
+/// File convenience wrappers; load reports unreadable files via `error`.
+[[nodiscard]] ParseResult loadSkeletonFile(const std::string& path);
+[[nodiscard]] bool saveSkeletonFile(const Skeleton& skel,
+                                    const std::string& path);
+
+}  // namespace ovp::skel

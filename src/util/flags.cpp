@@ -16,6 +16,7 @@ constexpr std::string_view kKnownOvprofFlags[] = {
     "ovprof-trace-capacity", "ovprof-trace-window",
     "ovprof-lint", "ovprof-lint-json",
     "ovprof-model", "ovprof-model-param",
+    "ovprof-check-json",
 };
 
 bool knownOvprofFlag(std::string_view name) {
@@ -127,6 +128,16 @@ std::string lintJsonPathRequested(const Flags& flags) {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+std::string checkJsonPathRequested(const Flags& flags) {
+  if (flags.has("ovprof-check-json")) {
+    const std::string path = flags.getString("ovprof-check-json", "");
+    // A bare --ovprof-check-json parses as boolean "true"; give it a name.
+    return path == "true" ? std::string("ovprof-check.json") : path;
+  }
+  const char* env = std::getenv("OVPROF_CHECK_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 std::string modelSamplePathRequested(const Flags& flags) {
   if (flags.has("ovprof-model")) {
     const std::string path = flags.getString("ovprof-model", "");
@@ -178,6 +189,10 @@ const char* ovprofHelpText() {
       "  --ovprof-lint-json=FILE      with --ovprof-lint, additionally write\n"
       "                               the findings as a deterministic JSON\n"
       "                               array to FILE; also: OVPROF_LINT_JSON\n"
+      "  --ovprof-check-json=FILE     (ovprof_check) additionally write the\n"
+      "                               static-analysis findings as a\n"
+      "                               deterministic JSON array to FILE; also:\n"
+      "                               OVPROF_CHECK_JSON\n"
       "  --ovprof-model=FILE          after the run, save a model sample\n"
       "                               (merged report + sweep metadata) to\n"
       "                               FILE for ovprof_model fit/predict;\n"

@@ -60,6 +60,11 @@ class Flags {
 /// variable when the flag is absent; empty string when neither is set.
 [[nodiscard]] std::string lintJsonPathRequested(const Flags& flags);
 
+/// Optional JSON sink for ovprof_check findings: the path from
+/// --ovprof-check-json=FILE, or from the OVPROF_CHECK_JSON environment
+/// variable when the flag is absent; empty string when neither is set.
+[[nodiscard]] std::string checkJsonPathRequested(const Flags& flags);
+
 /// Model-sample sink: the path from --ovprof-model=FILE, or from the
 /// OVPROF_MODEL environment variable when the flag is absent; empty string
 /// when neither is set.  The binary saves a model::RunSample (the merged

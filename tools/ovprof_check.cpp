@@ -1,0 +1,192 @@
+// ovprof_check: static communication-skeleton analyzer.
+//
+// Analyzes a declarative communication skeleton — either built in-process
+// from a NAS kernel reproduction (`nas:KERNEL`) or loaded from a .skel file
+// — entirely without running the simulator:
+//
+//   * matching — pairs sends with receives per (src, dst, tag) channel and
+//     reports unmatched halves, near-miss tag/size mismatches, and
+//     wildcard-receive nondeterminism;
+//   * deadlock — searches the blocking-dependency graph (rendezvous sends,
+//     blocking receives, waits, barriers) for cycles;
+//   * overlap windows — prices every post->wait window against an a-priori
+//     transfer-time table and flags serialized or short windows.
+//
+// With --conform=TRACE.csv it additionally verifies that a dynamic trace
+// (written by a live run via --ovprof-trace=FILE, as FILE.csv) embeds into
+// the skeleton: every traced match/put/get edge must be admissible in the
+// skeleton's static relation.  This is the gate that keeps the skeleton
+// builders honest against the kernels they model.
+//
+// Usage:
+//   ovprof_check SKELETON [SKELETON2 ...]
+//                [--class=S|A|B] [--procs=N] [--iterations=N]
+//                [--variant=mpi|armci|armci-nb] [--ns-per-flop=X]
+//                [--match=0] [--deadlock=0] [--overlap=0] [--eager=BYTES]
+//                [--xfer-table=FILE] [--conform=TRACE.csv]
+//                [--write-skeleton=FILE] [--ovprof-check-json=FILE]
+//
+// SKELETON is `nas:KERNEL` with KERNEL in {bt,cg,ep,ft,is,lu,mg,sp}, or the
+// path of a skeleton file previously written with --write-skeleton.
+//
+// Exit code: 0 when every skeleton is clean (Notes allowed), 1 when any has
+// findings at Warning or above, 2 on tool errors (unknown kernel, unreadable
+// file, bad flags).  Output is deterministic: the same inputs always produce
+// the same findings in the same order.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "nas/skeletons.hpp"
+#include "overlap/xfer_table.hpp"
+#include "skeleton/check.hpp"
+#include "skeleton/serialize.hpp"
+#include "tool_main.hpp"
+#include "trace/reader.hpp"
+#include "util/flags.hpp"
+
+using namespace ovp;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: ovprof_check SKELETON [SKELETON2 ...]\n"
+      "                    [--class=S|A|B] [--procs=N] [--iterations=N]\n"
+      "                    [--variant=mpi|armci|armci-nb] [--ns-per-flop=X]\n"
+      "                    [--match=0] [--deadlock=0] [--overlap=0]\n"
+      "                    [--eager=BYTES] [--xfer-table=FILE]\n"
+      "                    [--conform=TRACE.csv] [--write-skeleton=FILE]\n"
+      "                    [--ovprof-check-json=FILE]\n"
+      "\n"
+      "SKELETON is nas:KERNEL (kernel in {bt,cg,ep,ft,is,lu,mg,sp}; built\n"
+      "in-process from --class/--procs/--iterations/--variant) or the path\n"
+      "of a skeleton file written earlier with --write-skeleton.\n"
+      "\n"
+      "Statically analyzes the communication skeleton without running the\n"
+      "simulator: send/recv matching per (src, dst, tag) channel, blocking-\n"
+      "dependency deadlock search, and overlap-window pricing against the\n"
+      "a-priori transfer-time table from --xfer-table=FILE.  With\n"
+      "--conform=TRACE.csv, additionally verifies that the dynamic trace\n"
+      "embeds into the skeleton (every traced edge statically admissible).\n"
+      "Exit code: 0 clean, 1 findings at warning or above, 2 tool error.\n"
+      "framework flags (any ovprof binary):\n%s",
+      util::ovprofHelpText());
+}
+
+/// Resolves one SKELETON argument into a skeleton, or returns false after
+/// printing the reason.
+bool resolveSkeleton(const std::string& input, const util::Flags& flags,
+                     skel::Skeleton& out) {
+  if (input.rfind("nas:", 0) == 0) {
+    nas::SkeletonParams params;
+    params.nranks = static_cast<int>(flags.getInt("procs", params.nranks));
+    const std::string cls = flags.getString("class", "S");
+    params.cls = cls == "A" ? nas::Class::A
+                            : (cls == "B" ? nas::Class::B : nas::Class::S);
+    params.iterations =
+        static_cast<int>(flags.getInt("iterations", params.iterations));
+    params.variant = flags.getString("variant", "");
+    params.cost.ns_per_flop =
+        flags.getDouble("ns-per-flop", params.cost.ns_per_flop);
+    nas::SkeletonBuildResult built =
+        nas::buildNasSkeleton(input.substr(4), params);
+    if (!built.ok()) {
+      std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
+                   built.error.c_str());
+      return false;
+    }
+    out = std::move(built.skeleton);
+    return true;
+  }
+  skel::ParseResult parsed = skel::loadSkeletonFile(input);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
+                 parsed.error.c_str());
+    return false;
+  }
+  out = std::move(parsed.skeleton);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Positional arguments are the skeletons (nas:KERNEL or file paths).
+  tool::CommandLine cl = tool::parseCommandLine(argc, argv);
+  if (!cl.parse_ok) return 2;
+  if (cl.want_usage) {
+    printUsage();
+    return 0;
+  }
+  const util::Flags& flags = cl.flags;
+  const std::vector<std::string>& inputs = cl.positional;
+
+  skel::CheckConfig cfg;
+  cfg.match = flags.getBool("match", true);
+  cfg.deadlock = flags.getBool("deadlock", true);
+  cfg.overlap = flags.getBool("overlap", true);
+  cfg.deadlock_cfg.eager_limit =
+      flags.getInt("eager", cfg.deadlock_cfg.eager_limit);
+  const std::string table_path = flags.getString("xfer-table", "");
+  if (!table_path.empty() && !cfg.table.loadFile(table_path)) {
+    std::fprintf(stderr, "ovprof_check: cannot load xfer table %s\n",
+                 table_path.c_str());
+    return 2;
+  }
+
+  // Flags that name a single output or trace pair with a single skeleton.
+  const std::string json_path = util::checkJsonPathRequested(flags);
+  const std::string conform_path = flags.getString("conform", "");
+  const std::string write_path = flags.getString("write-skeleton", "");
+  if (inputs.size() > 1 &&
+      (!json_path.empty() || !conform_path.empty() || !write_path.empty())) {
+    std::fprintf(stderr,
+                 "ovprof_check: --conform/--write-skeleton/"
+                 "--ovprof-check-json accept exactly one SKELETON\n");
+    return 2;
+  }
+
+  trace::ReadResult loaded;
+  if (!conform_path.empty()) {
+    loaded = trace::readCsvFile(conform_path);
+    if (!loaded.collector) {
+      std::fprintf(stderr, "ovprof_check: %s: %s\n", conform_path.c_str(),
+                   loaded.error.c_str());
+      return 2;
+    }
+  }
+
+  int exit_code = 0;
+  for (const std::string& input : inputs) {
+    skel::Skeleton skeleton;
+    if (!resolveSkeleton(input, flags, skeleton)) return 2;
+    if (!write_path.empty() &&
+        !skel::saveSkeletonFile(skeleton, write_path)) {
+      std::fprintf(stderr, "ovprof_check: failed to write %s\n",
+                   write_path.c_str());
+      return 2;
+    }
+    const skel::CheckResult result =
+        loaded.collector ? skel::runCheckConform(skeleton, cfg,
+                                                 *loaded.collector)
+                         : skel::runCheck(skeleton, cfg);
+    if (inputs.size() > 1) std::printf("== %s ==\n", input.c_str());
+    skel::printCheckText(result, std::cout);
+    if (!json_path.empty()) {
+      std::ofstream os(json_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "ovprof_check: failed to write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      analysis::writeDiagnosticsJson(result.diagnostics, os);
+    }
+    exit_code = std::max(exit_code, result.exitCode());
+  }
+  return exit_code;
+}

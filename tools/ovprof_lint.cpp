@@ -25,10 +25,10 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "tool_main.hpp"
 #include "trace/reader.hpp"
 #include "util/flags.hpp"
 
@@ -54,28 +54,15 @@ void printUsage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Positional arguments are the trace files; everything dashed goes
-  // through the shared flag parser (which rejects unknown --ovprof-*).
-  std::vector<char*> flag_args{argv[0]};
-  std::vector<std::string> inputs;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) == 0 || arg == "-h") {
-      flag_args.push_back(argv[i]);
-    } else {
-      inputs.emplace_back(arg);
-    }
-  }
-  util::Flags flags;
-  if (!flags.parse(static_cast<int>(flag_args.size()), flag_args.data())) {
-    return 2;
-  }
-  if (util::helpRequested(flags) || inputs.empty()) {
-    // No-argument invocation prints usage and succeeds (repo convention:
-    // every binary runs standalone).
+  // Positional arguments are the trace files.
+  tool::CommandLine cl = tool::parseCommandLine(argc, argv);
+  if (!cl.parse_ok) return 2;
+  if (cl.want_usage) {
     printUsage();
     return 0;
   }
+  const util::Flags& flags = cl.flags;
+  const std::vector<std::string>& inputs = cl.positional;
 
   analysis::LintConfig cfg;
   cfg.races = flags.getBool("races", true);

@@ -31,12 +31,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "model/model_set.hpp"
 #include "model/predict.hpp"
 #include "model/sample.hpp"
+#include "tool_main.hpp"
 #include "trace/reader.hpp"
 #include "util/flags.hpp"
 
@@ -67,14 +67,7 @@ void printUsage() {
 
 /// Opens --out=FILE or falls back to stdout.
 std::ostream* openOut(const util::Flags& flags, std::ofstream& file) {
-  const std::string out = flags.getString("out", "");
-  if (out.empty()) return &std::cout;
-  file.open(out, std::ios::binary);
-  if (!file) {
-    std::fprintf(stderr, "ovprof_model: failed to write %s\n", out.c_str());
-    return nullptr;
-  }
-  return &file;
+  return tool::openOutput("ovprof_model", flags.getString("out", ""), file);
 }
 
 bool loadSweep(const std::vector<std::string>& paths, model::SampleSet& set) {
@@ -250,33 +243,17 @@ int cmdWhatIf(const std::vector<std::string>& inputs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Positional arguments are the subcommand then its inputs; everything
-  // dashed goes through the shared flag parser (which rejects unknown
-  // --ovprof-*).
-  std::vector<char*> flag_args{argv[0]};
-  std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--", 0) == 0 || arg == "-h") {
-      flag_args.push_back(argv[i]);
-    } else {
-      positional.emplace_back(arg);
-    }
-  }
-  util::Flags flags;
-  if (!flags.parse(static_cast<int>(flag_args.size()), flag_args.data())) {
-    return 2;
-  }
-  if (util::helpRequested(flags) || positional.empty()) {
-    // No-argument invocation prints usage and succeeds (repo convention:
-    // every binary runs standalone).
+  // Positional arguments are the subcommand then its inputs.
+  tool::CommandLine cl = tool::parseCommandLine(argc, argv);
+  if (!cl.parse_ok) return 2;
+  if (cl.want_usage) {
     printUsage();
     return 0;
   }
-
-  const std::string subcommand = positional.front();
-  const std::vector<std::string> inputs(positional.begin() + 1,
-                                        positional.end());
+  const util::Flags& flags = cl.flags;
+  const std::string subcommand = cl.positional.front();
+  const std::vector<std::string> inputs(cl.positional.begin() + 1,
+                                        cl.positional.end());
   if (subcommand == "fit") return cmdFit(inputs, flags);
   if (subcommand == "predict") return cmdPredict(inputs, flags);
   if (subcommand == "eval") return cmdEval(inputs, flags);

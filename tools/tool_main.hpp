@@ -1,0 +1,66 @@
+// Shared CLI scaffolding for the ovprof_* analysis tools.
+//
+// Every tool follows the same conventions: positional arguments and dashed
+// flags may be interleaved; dashed arguments go through util::Flags (which
+// rejects unknown --ovprof-* flags); `-h`/`--help` or a bare invocation
+// prints usage and exits 0 (every binary runs standalone); flag-parse
+// failures exit 2.  This header centralizes that split so the tools stay
+// byte-for-byte consistent about it.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/flags.hpp"
+
+namespace ovp::tool {
+
+struct CommandLine {
+  util::Flags flags;
+  std::vector<std::string> positional;
+  /// False when util::Flags rejected an argument (caller exits 2).
+  bool parse_ok = false;
+  /// True on -h/--help or when no positional arguments were given (caller
+  /// prints usage and exits 0).
+  bool want_usage = false;
+};
+
+/// Splits argv into positional arguments and parsed flags.
+[[nodiscard]] inline CommandLine parseCommandLine(int argc, char** argv) {
+  CommandLine cl;
+  std::vector<char*> flag_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) == 0 || arg == "-h") {
+      flag_args.push_back(argv[i]);
+    } else {
+      cl.positional.emplace_back(arg);
+    }
+  }
+  cl.parse_ok =
+      cl.flags.parse(static_cast<int>(flag_args.size()), flag_args.data());
+  if (!cl.parse_ok) return cl;
+  cl.want_usage = util::helpRequested(cl.flags) || cl.positional.empty();
+  return cl;
+}
+
+/// Resolves an output stream: `path` empty -> stdout, else `file` opened at
+/// `path` (binary, so output bytes are deterministic across platforms).
+/// Returns nullptr after printing an error when the file cannot be opened.
+[[nodiscard]] inline std::ostream* openOutput(const char* tool,
+                                              const std::string& path,
+                                              std::ofstream& file) {
+  if (path.empty()) return &std::cout;
+  file.open(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "%s: failed to write %s\n", tool, path.c_str());
+    return nullptr;
+  }
+  return &file;
+}
+
+}  // namespace ovp::tool

@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
   params.iterations = static_cast<int>(flags.getInt("iterations", 0));
   params.modified = flags.getBool("modified", false);
   params.verify = util::verifyRequested(flags);
+  params.workers = util::workersRequested(flags);
   const std::string fault_spec = util::faultSpecRequested(flags);
   if (!fault_spec.empty()) {
     if (!net::FaultModel::parse(fault_spec, params.fabric.fault)) {

@@ -60,9 +60,11 @@ int main(int argc, char** argv) {
   if (util::helpRequested(flags)) {
     std::printf(
         "usage: sim_bench [--procs=16] [--iters=400] [--halo=1024]\n"
-        "                 [--out=BENCH_sim.json]\n"
+        "                 [--workers=1] [--out=BENCH_sim.json]\n"
         "Times the discrete-event engine on a synthetic halo-exchange job\n"
         "and records events/sec and peak RSS as a JSON bench artifact.\n"
+        "--workers=N runs the engine's conservative parallel mode (results\n"
+        "are bit-identical to --workers=1).\n"
         "framework flags (any ovprof binary):\n%s",
         util::ovprofHelpText());
     return 0;
@@ -70,14 +72,18 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(flags.getInt("procs", 16));
   const int iters = static_cast<int>(flags.getInt("iters", 400));
   const int halo = static_cast<int>(flags.getInt("halo", 1024));
+  const int workers = static_cast<int>(
+      flags.getInt("workers", util::workersRequested(flags)));
 
   mpi::JobConfig cfg;
   cfg.nranks = nranks;
+  cfg.workers = workers;
   mpi::Machine machine(cfg);
 
   std::printf("=== sim_bench ===\n"
-              "%d ranks, %d iters, %d-double halo exchange + allreduce.\n",
-              nranks, iters, halo);
+              "%d ranks, %d iters, %d-double halo exchange + allreduce, "
+              "%d worker(s).\n",
+              nranks, iters, halo, workers);
   const auto start = std::chrono::steady_clock::now();
   machine.run([&](mpi::Mpi& mpi) { rankMain(mpi, iters, halo); });
   const double wall_s =
@@ -103,9 +109,11 @@ int main(int argc, char** argv) {
   os << "  \"ranks\": " << nranks << ",\n";
   os << "  \"iters\": " << iters << ",\n";
   os << "  \"halo_doubles\": " << halo << ",\n";
+  os << "  \"workers\": " << machine.engine().workersUsed() << ",\n";
   os << "  \"events\": " << events << ",\n";
   os << "  \"wall_s\": " << wall_s << ",\n";
-  os << "  \"events_per_sec\": " << events_per_sec << ",\n";
+  os << "  \"events_per_sec\": "
+     << static_cast<std::int64_t>(events_per_sec + 0.5) << ",\n";
   os << "  \"peak_rss_kb\": " << peak_rss_kb << ",\n";
   os << "  \"virtual_finish_ns\": " << machine.finishTime() << "\n";
   os << "}\n";

@@ -87,30 +87,39 @@ void Armci::traceSync(trace::RecordKind kind, std::int64_t id, Rank peer) {
 
 void Armci::progress() {
   const net::FabricParams& p = fabric_.params();
-  net::Completion c;
-  while (nic_.pollCompletion(c)) {
-    ctx_.advance(p.cq_poll_cost);
-    if (c.status != net::WorkStatus::Ok) {
-      throw std::runtime_error("armci: work request " + std::to_string(c.id) +
-                               " failed: NIC retry exhausted");
-    }
-    const auto wit = work_to_op_.find(c.id);
-    if (wit == work_to_op_.end()) continue;
-    const std::int64_t op = wit->second;
-    work_to_op_.erase(wit);
-    const auto pit = pending_.find(op);
-    assert(pit != pending_.end());
-    if (--pit->second.outstanding == 0) {
-      pending_.erase(pit);
-      const auto xit = op_xfer_.find(op);
-      if (xit != op_xfer_.end()) {
-        if (monitor_) ctx_.advance(monitor_->xferEnd(ctx_.now(), xit->second));
-        op_xfer_.erase(xit);
+  // Batched CQ drain; see Mpi::progress for the order/cost argument.
+  std::vector<net::Completion> batch = std::move(drained_cq_);
+  batch.clear();
+  while (nic_.drainCompletions(batch) > 0) {
+    for (const net::Completion& c : batch) {
+      ctx_.advance(p.cq_poll_cost);
+      if (c.status != net::WorkStatus::Ok) {
+        throw std::runtime_error("armci: work request " +
+                                 std::to_string(c.id) +
+                                 " failed: NIC retry exhausted");
       }
-      // Origin-side retirement: the settle point the race detector uses.
-      traceSync(trace::RecordKind::RmaComplete, op, -1);
+      const auto wit = work_to_op_.find(c.id);
+      if (wit == work_to_op_.end()) continue;
+      const std::int64_t op = wit->second;
+      work_to_op_.erase(wit);
+      const auto pit = pending_.find(op);
+      assert(pit != pending_.end());
+      if (--pit->second.outstanding == 0) {
+        pending_.erase(pit);
+        const auto xit = op_xfer_.find(op);
+        if (xit != op_xfer_.end()) {
+          if (monitor_) {
+            ctx_.advance(monitor_->xferEnd(ctx_.now(), xit->second));
+          }
+          op_xfer_.erase(xit);
+        }
+        // Origin-side retirement: the settle point the race detector uses.
+        traceSync(trace::RecordKind::RmaComplete, op, -1);
+      }
     }
+    batch.clear();
   }
+  drained_cq_ = std::move(batch);
   ctx_.advance(p.cq_poll_cost);
 }
 
@@ -352,15 +361,17 @@ void Armci::barrier() {
     b.count = 0;
     ++b.epoch;
     // Release the peers after one wire hop (they learn via the message
-    // layer); self continues immediately.
+    // layer); self continues immediately.  One wake token per peer rank,
+    // delivered at its own domain — the cross-partition-legal form (the
+    // hop equals the engine lookahead), though ARMCI jobs currently run
+    // sequentially because SharedBarrier state is mutated from rank code.
     sim::Engine& eng = ctx_.engine();
     const int n = b.nranks;
     const Rank me = ctx_.rank();
-    eng.after(fabric_.params().wire_latency, [&eng, n, me] {
-      for (Rank r = 0; r < n; ++r) {
-        if (r != me) eng.wake(r);
-      }
-    });
+    const TimeNs release_at = ctx_.now() + fabric_.params().wire_latency;
+    for (Rank r = 0; r < n; ++r) {
+      if (r != me) eng.wakeAt(r, release_at);
+    }
     // Stamped at exit (both paths): the happens-before join for epoch
     // `my_epoch` sits after every record this rank produced inside the
     // barrier, including completions drained while waiting.
@@ -405,6 +416,10 @@ ArmciMachine::ArmciMachine(ArmciJobConfig cfg) : cfg_(std::move(cfg)) {}
 
 void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
   net::Fabric fabric(engine_, cfg_.fabric, cfg_.nranks);
+  // ARMCI jobs always run sequentially: SharedBarrier and allreduceSum
+  // mutate state shared across ranks directly from rank code, which the
+  // conservative-parallel protocol does not allow.
+  engine_.setWorkers(1);
   auto barrier = std::make_shared<SharedBarrier>(cfg_.nranks);
   reports_.assign(
       cfg_.armci.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,

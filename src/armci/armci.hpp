@@ -194,6 +194,9 @@ class Armci {
   std::unordered_map<std::int64_t, TransferId> op_xfer_;
   std::int64_t next_op_ = 1;
 
+  /// Scratch buffer for progress()'s batched CQ drain (kept for capacity).
+  std::vector<net::Completion> drained_cq_;
+
   std::shared_ptr<SharedBarrier> barrier_;
 };
 

@@ -97,27 +97,34 @@ void Mpi::reduce(const double* in, double* out, int count, Op op, Rank root) {
   const int P = size();
   const Rank r = rank();
   const int vrank = (r - root + P) % P;
-  std::vector<double> acc(in, in + count);
-  std::vector<double> incoming(static_cast<std::size_t>(count));
+  // Combine via the persistent scratch members (see mpi.hpp): the message
+  // buffers must keep stable addresses or registration-cache hits become
+  // worker-count-dependent.
+  const auto n = static_cast<std::size_t>(count);
+  if (reduce_acc_.size() < n) reduce_acc_.resize(n);
+  if (reduce_incoming_.size() < n) reduce_incoming_.resize(n);
+  double* acc = reduce_acc_.data();
+  double* incoming = reduce_incoming_.data();
+  std::memcpy(acc, in, sizeof(double) * n);
   int mask = 1;
   while (mask < P) {
     if (vrank & mask) {
       const Rank parent = static_cast<Rank>(((vrank & ~mask) + root) % P);
-      sendT(acc.data(), count, parent, kTagReduce);
+      sendT(acc, count, parent, kTagReduce);
       break;
     }
     if (vrank + mask < P) {
       const Rank child = static_cast<Rank>((vrank + mask + root) % P);
-      recvT(incoming.data(), count, child, kTagReduce);
+      recvT(incoming, count, child, kTagReduce);
       ctx_.advance(static_cast<DurationNs>(
           cfg_.reduce_ns_per_byte * static_cast<double>(count) *
           static_cast<double>(sizeof(double))));
-      applyOp(op, incoming.data(), acc.data(), count);
+      applyOp(op, incoming, acc, count);
     }
     mask <<= 1;
   }
   if (r == root && out != nullptr) {
-    std::memcpy(out, acc.data(), sizeof(double) * static_cast<std::size_t>(count));
+    std::memcpy(out, acc, sizeof(double) * n);
   }
 }
 

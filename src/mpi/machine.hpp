@@ -23,6 +23,10 @@ struct JobConfig {
   net::FabricParams fabric;
   MpiConfig mpi;
   trace::CollectorConfig trace;
+  /// Engine worker threads (conservative parallel mode; results are
+  /// bit-identical at any value).  Forced to 1 when fault injection is
+  /// enabled: the fault RNG is consumed in global event order.
+  int workers = 1;
 };
 
 class Machine {

@@ -163,11 +163,20 @@ void Mpi::notifyRecvPost(Rank source, int tag, Bytes bytes) {
 
 void Mpi::progress() {
   const net::FabricParams& p = fabric_.params();
-  net::Completion c;
-  while (nic_.pollCompletion(c)) {
-    ctx_.advance(p.cq_poll_cost);
-    handleCompletion(c);
+  // Batched CQ drain: one call moves the whole backlog, each entry is still
+  // charged its poll cost, and completions deposited while handling the
+  // batch (handlers advance virtual time) are picked up by the next drain —
+  // same FIFO handling order and virtual-time cost as polling one by one.
+  std::vector<net::Completion> batch = std::move(drained_cq_);
+  batch.clear();
+  while (nic_.drainCompletions(batch) > 0) {
+    for (const net::Completion& c : batch) {
+      ctx_.advance(p.cq_poll_cost);
+      handleCompletion(c);
+    }
+    batch.clear();
   }
+  drained_cq_ = std::move(batch);
   net::Packet pkt;
   while (nic_.pollRecv(pkt)) {
     ctx_.advance(p.cq_poll_cost);

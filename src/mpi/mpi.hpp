@@ -234,6 +234,18 @@ class Mpi {
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_recv_id_ = 1;
   std::uint64_t next_req_uid_ = 1;  // usage-checker request ids
+
+  /// Scratch buffer for progress()'s batched CQ drain (kept for capacity).
+  std::vector<net::Completion> drained_cq_;
+
+  /// Persistent reduction scratch (grow-only).  Reduce/allreduce combine
+  /// into these instead of per-call temporaries so the buffers keep one
+  /// address for the life of the rank: per-call vectors inherit
+  /// thread-dependent malloc reuse, which makes the NIC registration
+  /// cache's exact (ptr, size) hits diverge between worker counts and
+  /// breaks sequential/parallel bit-identity.
+  std::vector<double> reduce_acc_;
+  std::vector<double> reduce_incoming_;
 };
 
 /// RAII section helper: `MpiSection s(mpi, "x_solve");`

@@ -49,6 +49,7 @@ mpi::JobConfig makeJobConfig(const NasParams& p) {
   // Per-size-class breakdown like the paper's reports.
   cfg.mpi.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
   cfg.trace = p.trace;
+  cfg.workers = p.workers;
   return cfg;
 }
 

@@ -61,6 +61,8 @@ struct NasParams {
   int iterations = 0;
   /// Always-on event tracing (timeline export + cross-rank analysis).
   trace::CollectorConfig trace;
+  /// Engine worker threads (mpi::JobConfig::workers).
+  int workers = 1;
 };
 
 /// Sums per-rank whole-run overlap accumulators (all ranks, all sizes).

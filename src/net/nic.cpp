@@ -12,18 +12,37 @@ Nic::Nic(Fabric& fabric, Rank owner)
       owner_(owner),
       reg_cache_(fabric.params(), /*capacity_entries=*/1024) {}
 
-Nic::WireTimes Nic::reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready) {
-  const FabricParams& p = fabric_.params();
-  const DurationNs ser = p.serialize(wire_bytes);
+Nic::TxTimes Nic::reserveTx(Bytes wire_bytes, TimeNs ready) {
+  const DurationNs ser = fabric_.params().serialize(wire_bytes);
   const TimeNs first_out = ready > tx_busy_ ? ready : tx_busy_;
   const TimeNs last_out = first_out + ser;
   tx_busy_ = last_out;
-  const TimeNs earliest_in = first_out + p.wire_latency;
-  const TimeNs first_in = earliest_in > dst.rx_busy_ ? earliest_in : dst.rx_busy_;
+  bytes_sent_ += wire_bytes;
+  return TxTimes{first_out, last_out};
+}
+
+void Nic::arrive(DurationNs ser, sim::InlineFn deliver) {
+  // Runs as an event on this NIC's rank at the earliest possible
+  // first-byte-in time; now() is that instant, so ingress contention is
+  // resolved in arrival order, deterministically.
+  sim::Engine& eng = fabric_.engine();
+  const TimeNs now = eng.now();
+  const TimeNs first_in = now > rx_busy_ ? now : rx_busy_;
+  const TimeNs arrival = first_in + ser;
+  rx_busy_ = arrival;
+  eng.schedule(arrival, std::move(deliver));
+}
+
+Nic::WireTimes Nic::reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready) {
+  const FabricParams& p = fabric_.params();
+  const DurationNs ser = p.serialize(wire_bytes);
+  const TxTimes t = reserveTx(wire_bytes, ready);
+  const TimeNs earliest_in = t.first_byte_out + p.wire_latency;
+  const TimeNs first_in =
+      earliest_in > dst.rx_busy_ ? earliest_in : dst.rx_busy_;
   const TimeNs arrival = first_in + ser;
   dst.rx_busy_ = arrival;
-  bytes_sent_ += wire_bytes;
-  return WireTimes{last_out, arrival};
+  return WireTimes{t.last_byte_out, arrival};
 }
 
 // --------------------------------------------- reliability (fault mode)
@@ -192,12 +211,21 @@ WorkId Nic::postSend(Rank dst, Packet pkt) {
     return id;
   }
 
-  const WireTimes t = reserveWire(peer, wire, eng.now() + p.nic_setup);
+  // Two-phase wire model (parallel-safe): phase 1 reserves the egress port
+  // here, touching only sender-local state; phase 2 is an event on the
+  // *receiving* rank's partition at first_byte_out + L, where arrive()
+  // resolves ingress contention against rx state owned by that partition.
+  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup);
   eng.schedule(t.last_byte_out,
                [this, id] { depositCompletion({id, WorkType::Send}); });
   auto boxed = std::make_shared<Packet>(std::move(pkt));
-  eng.schedule(t.arrival,
-               [&peer, boxed] { peer.depositPacket(std::move(*boxed)); });
+  const DurationNs ser = p.serialize(wire);
+  eng.scheduleFor(dst, t.first_byte_out + p.wire_latency,
+                  [&peer, ser, boxed] {
+                    peer.arrive(ser, [&peer, boxed] {
+                      peer.depositPacket(std::move(*boxed));
+                    });
+                  });
   return id;
 }
 
@@ -239,31 +267,45 @@ WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
     return id;
   }
 
-  const WireTimes t =
-      reserveWire(peer, size + p.header_bytes, eng.now() + p.nic_setup);
+  const Bytes wire = size + p.header_bytes;
+  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup);
 
   // DMA semantics: the NIC streams directly out of application memory; we
   // capture the bytes when the last byte leaves the source (the sender's
   // library will not touch the buffer before its local completion, which is
-  // the same instant) and place them remotely at arrival.
+  // the same instant) and place them remotely at arrival.  The staged
+  // buffer is written here and read on the destination partition no earlier
+  // than last_byte_out + L, so the window barrier orders the accesses.
   eng.schedule(t.last_byte_out, [this, id, staged, src, size] {
     staged->resize(static_cast<std::size_t>(size));
     std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
     depositCompletion({id, WorkType::RdmaWrite});
   });
-  eng.schedule(t.arrival, [staged, dst_ptr, size] {
-    std::memcpy(dst_ptr, staged->data(), static_cast<std::size_t>(size));
-  });
+  const DurationNs ser = p.serialize(wire);
+  eng.scheduleFor(dst, t.first_byte_out + p.wire_latency,
+                  [&peer, ser, staged, dst_ptr, size] {
+                    peer.arrive(ser, [staged, dst_ptr, size] {
+                      std::memcpy(dst_ptr, staged->data(),
+                                  static_cast<std::size_t>(size));
+                    });
+                  });
 
   if (notify != nullptr) {
-    // Same-QP ordering: the notification follows the data on the same path,
-    // so it reserves the wire after the data reservation above.
+    // Same-QP ordering: the notification follows the data on the same path.
+    // Its egress slot starts no earlier than the data's last_byte_out, so
+    // its rx event lands strictly later and arrive()'s rx_busy_ chaining
+    // keeps delivery behind the data placement.
     auto boxed = std::make_shared<Packet>(*notify);
     const Bytes nwire =
         static_cast<Bytes>(boxed->payload.size()) + p.header_bytes;
-    const WireTimes nt = reserveWire(peer, nwire, eng.now() + p.nic_setup);
-    eng.schedule(nt.arrival,
-                 [&peer, boxed] { peer.depositPacket(std::move(*boxed)); });
+    const TxTimes nt = reserveTx(nwire, eng.now() + p.nic_setup);
+    const DurationNs nser = p.serialize(nwire);
+    eng.scheduleFor(dst, nt.first_byte_out + p.wire_latency,
+                    [&peer, nser, boxed] {
+                      peer.arrive(nser, [&peer, boxed] {
+                        peer.depositPacket(std::move(*boxed));
+                      });
+                    });
   }
   return id;
 }
@@ -300,16 +342,20 @@ WorkId Nic::postRdmaApply(
     return id;
   }
 
-  const WireTimes t =
-      reserveWire(peer, size + p.header_bytes, eng.now() + p.nic_setup);
+  const Bytes wire = size + p.header_bytes;
+  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup);
   eng.schedule(t.last_byte_out, [this, id, staged, src, size] {
     staged->resize(static_cast<std::size_t>(size));
     std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
     depositCompletion({id, WorkType::RdmaWrite});
   });
-  eng.schedule(t.arrival, [staged, boxed_apply, dst_ptr, size] {
-    (*boxed_apply)(staged->data(), dst_ptr, size);
-  });
+  const DurationNs ser = p.serialize(wire);
+  eng.scheduleFor(dst, t.first_byte_out + p.wire_latency,
+                  [&peer, ser, staged, boxed_apply, dst_ptr, size] {
+                    peer.arrive(ser, [staged, boxed_apply, dst_ptr, size] {
+                      (*boxed_apply)(staged->data(), dst_ptr, size);
+                    });
+                  });
   return id;
 }
 
@@ -352,24 +398,40 @@ WorkId Nic::postRdmaRead(Rank target, void* local_dst, const void* remote_src,
     return id;
   }
 
-  // Read request travels to the target NIC...
-  const WireTimes req =
-      reserveWire(peer, p.header_bytes, eng.now() + p.nic_setup);
-  // ...whose DMA engine streams the data back, with no target-host
-  // involvement whatsoever (this is what makes RDMA Read rendezvous fully
-  // overlappable for the sender-side process).
-  const WireTimes data =
-      peer.reserveWire(*this, size + p.header_bytes, req.arrival + p.nic_setup);
-
-  auto staged = std::make_shared<std::vector<std::byte>>();
-  eng.schedule(data.last_byte_out, [staged, remote_src, size] {
-    staged->resize(static_cast<std::size_t>(size));
-    std::memcpy(staged->data(), remote_src, static_cast<std::size_t>(size));
-  });
-  eng.schedule(data.arrival, [this, id, staged, local_dst, size] {
-    std::memcpy(local_dst, staged->data(), static_cast<std::size_t>(size));
-    depositCompletion({id, WorkType::RdmaRead});
-  });
+  // Read request travels to the target NIC; at its arrival the target's
+  // DMA engine streams the data back, with no target-host involvement
+  // whatsoever (this is what makes RDMA Read rendezvous fully overlappable
+  // for the sender-side process).  Each leg is the two-phase pattern: tx
+  // reservation on the partition that owns the egress port, rx resolution
+  // as an event on the partition that owns the ingress port.
+  const TxTimes req = reserveTx(p.header_bytes, eng.now() + p.nic_setup);
+  const DurationNs req_ser = p.serialize(p.header_bytes);
+  eng.scheduleFor(
+      target, req.first_byte_out + p.wire_latency,
+      [this, &peer, id, local_dst, remote_src, size, req_ser] {
+        peer.arrive(req_ser, [this, &peer, id, local_dst, remote_src, size] {
+          // Target side, at the request's arrival instant.
+          const FabricParams& tp = fabric_.params();
+          sim::Engine& teng = fabric_.engine();
+          const Bytes wire = size + tp.header_bytes;
+          const TxTimes data = peer.reserveTx(wire, teng.now() + tp.nic_setup);
+          auto staged = std::make_shared<std::vector<std::byte>>();
+          teng.schedule(data.last_byte_out, [staged, remote_src, size] {
+            staged->resize(static_cast<std::size_t>(size));
+            std::memcpy(staged->data(), remote_src,
+                        static_cast<std::size_t>(size));
+          });
+          const DurationNs ser = tp.serialize(wire);
+          teng.scheduleFor(owner_, data.first_byte_out + tp.wire_latency,
+                           [this, ser, id, staged, local_dst, size] {
+                             arrive(ser, [this, id, staged, local_dst, size] {
+                               std::memcpy(local_dst, staged->data(),
+                                           static_cast<std::size_t>(size));
+                               depositCompletion({id, WorkType::RdmaRead});
+                             });
+                           });
+        });
+      });
   return id;
 }
 
@@ -378,6 +440,13 @@ bool Nic::pollCompletion(Completion& out) {
   out = cq_.front();
   cq_.pop_front();
   return true;
+}
+
+std::size_t Nic::drainCompletions(std::vector<Completion>& out) {
+  const std::size_t n = cq_.size();
+  out.insert(out.end(), cq_.begin(), cq_.end());
+  cq_.clear();
+  return n;
 }
 
 bool Nic::pollRecv(Packet& out) {
@@ -414,6 +483,7 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params, int nranks)
       fault_enabled_(params_.fault.enabled()),
       fault_rng_(params_.fault.seed),
       deterministic_drops_left_(params_.fault.deterministic_drops) {
+  engine_.setLookahead(params_.lookahead());
   nics_.reserve(static_cast<std::size_t>(nranks));
   for (Rank r = 0; r < nranks; ++r) {
     nics_.push_back(std::unique_ptr<Nic>(new Nic(*this, r)));

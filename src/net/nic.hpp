@@ -32,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "net/fault.hpp"
 #include "net/memreg.hpp"
@@ -83,6 +84,12 @@ class Nic {
   /// The *host cost* of polling is charged by the library layer, not here.
   bool pollCompletion(Completion& out);
 
+  /// Batched CQ drain: appends every pending completion to `out` and returns
+  /// the number drained.  One call replaces a pollCompletion loop; the
+  /// library layer still charges its per-entry poll cost, so timing is
+  /// unchanged.
+  std::size_t drainCompletions(std::vector<Completion>& out);
+
   /// Non-blocking receive-queue poll.
   bool pollRecv(Packet& out);
 
@@ -109,9 +116,27 @@ class Nic {
  private:
   friend class Fabric;
 
-  /// Computes the wire schedule for S bytes from this NIC to `dst`, starting
-  /// no earlier than `ready`; updates both ports' busy times.  Returns
-  /// {last_byte_out, arrival}.
+  /// Egress-port reservation: schedules S wire bytes out of this NIC no
+  /// earlier than `ready`, updating tx_busy_.  Touches only sender-local
+  /// state, so it is safe from the posting rank's partition in parallel
+  /// runs.  Returns {first_byte_out, last_byte_out}.
+  struct TxTimes {
+    TimeNs first_byte_out;
+    TimeNs last_byte_out;
+  };
+  TxTimes reserveTx(Bytes wire_bytes, TimeNs ready);
+
+  /// Ingress-port reservation + delivery, the second phase of a transfer.
+  /// Runs as an event on *this* (receiving) NIC's rank at the earliest
+  /// first-byte-in time (sender's first_byte_out + wire latency): computes
+  /// the actual arrival under rx contention, updates rx_busy_, and schedules
+  /// `deliver` at arrival.  Keeping all rx state changes on the owner's
+  /// partition is what makes the lossless path parallel-safe.
+  void arrive(DurationNs ser, sim::InlineFn deliver);
+
+  /// Legacy one-shot reservation of both ports (fault path only — fault
+  /// mode forces sequential execution, where the synchronous remote
+  /// rx_busy_ update is safe).  Returns {last_byte_out, arrival}.
   struct WireTimes {
     TimeNs last_byte_out;
     TimeNs arrival;

@@ -49,6 +49,13 @@ struct FabricParams {
   /// bit-for-bit.
   FaultModel fault;
 
+  /// Minimum cross-NIC delay, exported to the engine as the
+  /// conservative-parallel lookahead: every remotely visible effect of a
+  /// post (packet arrival, wake) lags the posting rank by at least one wire
+  /// latency, so events inside a [T, T+L) window cannot influence another
+  /// partition's same-window execution.
+  [[nodiscard]] DurationNs lookahead() const { return wire_latency; }
+
   /// Returns serialization time for n bytes at one port.
   [[nodiscard]] DurationNs serialize(Bytes n) const {
     return static_cast<DurationNs>(static_cast<double>(n) * ns_per_byte);

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
@@ -7,7 +8,7 @@
 namespace ovp::sim {
 
 namespace {
-/// Thrown into rank threads to unwind them when the job is being aborted
+/// Thrown into rank fibers to unwind them when the job is being aborted
 /// (deadlock detected or a peer rank failed).  Never escapes Engine::run.
 struct EngineAborted {};
 
@@ -21,6 +22,8 @@ void unwindIfSafe() {
 }
 }  // namespace
 
+thread_local Engine::Partition* Engine::t_part = nullptr;
+
 int Context::worldSize() const {
   return static_cast<int>(engine_.ranks_.size());
 }
@@ -31,216 +34,397 @@ void Context::compute(DurationNs d) { engine_.rankCompute(rank_, d); }
 
 void Context::sleep() { engine_.rankSleep(rank_); }
 
+TimeNs Engine::now() const {
+  return t_part != nullptr ? t_part->now : finish_time_;
+}
+
+int Engine::effectiveWorkers(int nranks) const {
+  if (workers_requested_ <= 1 || lookahead_ <= 0 || nranks < 2) return 1;
+  return std::min(workers_requested_, nranks);
+}
+
 void Engine::run(int nranks, const std::function<void(Context&)>& rankMain) {
   assert(nranks > 0);
+  assert(t_part == nullptr && "Engine::run is not reentrant");
+  rank_main_ = &rankMain;
+  const int nworkers = effectiveWorkers(nranks);
+  workers_used_ = nworkers;
+  finish_time_ = 0;
+  events_processed_ = 0;
+  error_ = nullptr;
+  aborting_.store(false, std::memory_order_relaxed);
+  abort_requested_.store(false, std::memory_order_relaxed);
+  domain_seq_.assign(static_cast<std::size_t>(nranks) + 1, 0);
+
+  parts_.clear();
+  ranks_.clear();
+  parts_.reserve(static_cast<std::size_t>(nworkers));
+  const int base = nranks / nworkers;
+  const int rem = nranks % nworkers;
+  Rank next_lo = 0;
+  for (int w = 0; w < nworkers; ++w) {
+    auto p = std::make_unique<Partition>();
+    p->index = w;
+    p->lo = next_lo;
+    p->hi = next_lo + base + (w < rem ? 1 : 0);
+    next_lo = p->hi;
+    p->alive = static_cast<int>(p->hi - p->lo);
+    p->outbox.resize(static_cast<std::size_t>(nworkers));
+    parts_.push_back(std::move(p));
+  }
+
+  const std::size_t stack_bytes = Fiber::defaultStackBytes();
+  ranks_.reserve(static_cast<std::size_t>(nranks));
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    ranks_.clear();
-    while (!events_.empty()) events_.pop();
-    now_ = 0;
-    finish_time_ = 0;
-    seq_ = 0;
-    events_processed_ = 0;
-    alive_ = nranks;
-    engine_turn_ = true;
+    int w = 0;
+    for (Rank r = 0; r < nranks; ++r) {
+      while (r >= parts_[static_cast<std::size_t>(w)]->hi) ++w;
+      auto s = std::make_unique<RankSlot>();
+      s->engine = this;
+      s->rank = r;
+      s->part = w;
+      s->fiber = std::make_unique<Fiber>(stack_bytes, &rankFiberEntry, s.get());
+      ranks_.push_back(std::move(s));
+    }
+  }
+
+  // Every rank starts with a driver-created resume event at t=0; the driver
+  // counter assigns (src=-1, seq=r) in rank order, identically in both
+  // modes.
+  for (Rank r = 0; r < nranks; ++r) {
+    Event e;
+    e.time = 0;
+    e.src = -1;
+    e.seq = nextSeq(-1);
+    e.owner = r;
+    e.kind = EventKind::Resume;
+    parts_[static_cast<std::size_t>(slot(r).part)]->queue.push(std::move(e));
+  }
+
+  if (nworkers == 1) {
+    Partition& p = *parts_[0];
+    t_part = &p;
+    Fiber::initThreadContext(p.sched_ctx);
+    sequentialLoop(p);
+    Fiber::releaseThreadContext(p.sched_ctx);
+    t_part = nullptr;
+  } else {
+    window_horizon_ = lookahead_;  // first window: [0, L)
+    window_decision_ = WindowDecision::Run;
+    barrier_count_ = 0;
+    barrier_parties_ = nworkers;
+    barrier_phase_ = 0;
+    for (auto& p : parts_) {
+      Partition* pp = p.get();
+      p->thread = std::thread([this, pp] { workerLoop(*pp); });
+    }
+    for (auto& p : parts_) p->thread.join();
+  }
+
+  for (const auto& p : parts_) {
+    finish_time_ = std::max(finish_time_, p->now);
+    events_processed_ += p->events;
+  }
+  ranks_.clear();  // unmap fiber stacks
+  parts_.clear();
+  rank_main_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
     error_ = nullptr;
-    aborting_ = false;
-
-    ranks_.reserve(static_cast<std::size_t>(nranks));
-    for (Rank r = 0; r < nranks; ++r) {
-      ranks_.push_back(std::make_unique<RankSlot>());
-    }
-    for (Rank r = 0; r < nranks; ++r) {
-      ranks_[static_cast<std::size_t>(r)]->wake_pending = true;
-      pushEventLocked(0, r, nullptr);
-    }
-    for (Rank r = 0; r < nranks; ++r) {
-      RankSlot& slot = *ranks_[static_cast<std::size_t>(r)];
-      slot.thread = std::thread([this, r, &rankMain] {
-        Context ctx(*this, r);
-        std::exception_ptr failure;
-        {
-          // Wait for the engine to hand us the first turn.
-          std::unique_lock<std::mutex> tlock(mu_);
-          ranks_[static_cast<std::size_t>(r)]->cv.wait(
-              tlock, [&] { return ranks_[static_cast<std::size_t>(r)]->resume; });
-          ranks_[static_cast<std::size_t>(r)]->resume = false;
-          if (aborting_) {
-            finishRankLocked(r, nullptr);
-            return;
-          }
-        }
-        try {
-          rankMain(ctx);
-        } catch (const EngineAborted&) {
-          // Unwound deliberately; not an error.
-        } catch (...) {
-          failure = std::current_exception();
-        }
-        std::unique_lock<std::mutex> tlock(mu_);
-        finishRankLocked(r, failure);
-      });
-    }
+    std::rethrow_exception(e);
   }
-
-  mainLoop(nranks);
-
-  for (auto& slot : ranks_) {
-    if (slot->thread.joinable()) slot->thread.join();
-  }
-  if (error_) std::rethrow_exception(error_);
 }
 
-void Engine::finishRankLocked(Rank rank, std::exception_ptr failure) {
-  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
-  slot.state = RankState::Done;
-  --alive_;
-  if (failure && !error_) error_ = failure;
-  finish_time_ = now_;
-  engine_turn_ = true;
-  engine_cv_.notify_one();
-}
-
-void Engine::mainLoop(int nranks) {
-  (void)nranks;
-  std::unique_lock<std::mutex> lock(mu_);
-  while (alive_ > 0 || !events_.empty()) {
-    if (error_ && !aborting_) abortLocked(lock, "a rank failed");
-    if (events_.empty()) {
-      if (alive_ == 0) break;
-      // Deadlock: live ranks but nothing scheduled.
-      std::ostringstream msg;
-      msg << "simulation deadlock at t=" << now_ << "ns; sleeping ranks:";
-      for (std::size_t r = 0; r < ranks_.size(); ++r) {
-        if (ranks_[r]->state != RankState::Done) msg << ' ' << r;
-      }
-      if (!error_) {
-        error_ = std::make_exception_ptr(std::runtime_error(msg.str()));
-      }
-      abortLocked(lock, "deadlock");
+void Engine::sequentialLoop(Partition& p) {
+  for (;;) {
+    if (abort_requested_.load(std::memory_order_relaxed)) {
+      aborting_.store(true, std::memory_order_relaxed);
+      unwindPartition(p);
+      break;
+    }
+    if (p.queue.empty()) {
+      if (p.alive == 0) break;
+      deadlock();  // sets error_ + abort_requested_; next iteration unwinds
       continue;
     }
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    ++events_processed_;
-    if (ev.wake_rank >= 0) {
-      RankSlot& slot = *ranks_[static_cast<std::size_t>(ev.wake_rank)];
-      if (slot.state == RankState::Done) continue;
-      if (ev.timed_resume) {
-        assert(slot.state == RankState::Busy);
-        runRank(lock, ev.wake_rank);
-      } else if (slot.state == RankState::Sleeping) {
-        slot.wake_pending = false;
-        runRank(lock, ev.wake_rank);
+    Event e = p.queue.pop();
+    execute(p, e);
+  }
+}
+
+void Engine::workerLoop(Partition& p) {
+  t_part = &p;
+  Fiber::initThreadContext(p.sched_ctx);
+  for (;;) {
+    if (!aborting_.load(std::memory_order_relaxed)) {
+      while (!p.queue.empty() && p.queue.minTime() < window_horizon_) {
+        Event e = p.queue.pop();
+        execute(p, e);
+        if (abort_requested_.load(std::memory_order_relaxed)) break;
       }
-      // Wake event arriving while the rank is busy: leave the pending token
-      // for the rank's next sleep().
-    } else {
-      // Timed handler: runs on this (engine) thread with the lock released;
-      // every rank is blocked, so handlers have exclusive access to
-      // simulation state.
-      lock.unlock();
-      ev.handler();
-      lock.lock();
+    }
+    barrierWait();
+    if (window_decision_ == WindowDecision::Done) break;
+    if (window_decision_ == WindowDecision::Abort) {
+      // Each worker unwinds its own fibers (their stacks were switched on
+      // this thread); partition state is thread-local from here on, so no
+      // further barrier is needed.
+      unwindPartition(p);
+      break;
     }
   }
-  finish_time_ = now_;
+  Fiber::releaseThreadContext(p.sched_ctx);
+  t_part = nullptr;
 }
 
-void Engine::abortLocked(std::unique_lock<std::mutex>& lock,
-                         const char* /*why*/) {
-  aborting_ = true;
-  // Resume every live rank so it unwinds via EngineAborted; drain their
-  // final handoffs one at a time.
-  for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    RankSlot& slot = *ranks_[r];
-    if (slot.state == RankState::Done) continue;
-    runRank(lock, static_cast<Rank>(r));
+void Engine::barrierWait() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const std::uint64_t phase = barrier_phase_;
+  if (++barrier_count_ == barrier_parties_) {
+    barrier_count_ = 0;
+    coordinateWindow();
+    ++barrier_phase_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
   }
-  // Discard whatever is left in the queue.
-  while (!events_.empty()) events_.pop();
 }
 
-void Engine::runRank(std::unique_lock<std::mutex>& lock, Rank rank) {
-  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
-  slot.state = RankState::Running;
-  slot.resume = true;
-  engine_turn_ = false;
-  slot.cv.notify_one();
-  engine_cv_.wait(lock, [&] { return engine_turn_; });
+void Engine::coordinateWindow() {
+  // All other workers are blocked in barrierWait: safe to touch every
+  // partition.  Merge staged cross-partition events; calendar-queue
+  // insertion orders them by (time, src, seq) regardless of arrival order.
+  for (auto& src : parts_) {
+    for (std::size_t d = 0; d < src->outbox.size(); ++d) {
+      for (Event& e : src->outbox[d]) parts_[d]->queue.push(std::move(e));
+      src->outbox[d].clear();
+    }
+  }
+  if (abort_requested_.load(std::memory_order_relaxed)) {
+    aborting_.store(true, std::memory_order_relaxed);
+    window_decision_ = WindowDecision::Abort;
+    return;
+  }
+  TimeNs tmin = kTimeNever;
+  int alive = 0;
+  for (auto& p : parts_) {
+    tmin = std::min(tmin, p->queue.minTime());
+    alive += p->alive;
+  }
+  if (tmin == kTimeNever) {
+    if (alive > 0) {
+      deadlock();
+      aborting_.store(true, std::memory_order_relaxed);
+      window_decision_ = WindowDecision::Abort;
+    } else {
+      window_decision_ = WindowDecision::Done;
+    }
+    return;
+  }
+  window_horizon_ = tmin + lookahead_;
+  window_decision_ = WindowDecision::Run;
 }
 
-void Engine::pushEventLocked(TimeNs t, Rank wakeRank,
-                             std::function<void()> handler) {
-  Event ev;
-  ev.time = t < now_ ? now_ : t;
-  ev.seq = seq_++;
-  ev.wake_rank = wakeRank;
-  ev.handler = std::move(handler);
-  events_.push(std::move(ev));
+void Engine::deadlock() {
+  TimeNs t = 0;
+  for (const auto& p : parts_) t = std::max(t, p->now);
+  std::ostringstream msg;
+  msg << "simulation deadlock at t=" << t << "ns; sleeping ranks:";
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (ranks_[r]->state != RankState::Done) msg << ' ' << r;
+  }
+  recordError(std::make_exception_ptr(std::runtime_error(msg.str())));
+  abort_requested_.store(true, std::memory_order_relaxed);
 }
 
-void Engine::schedule(TimeNs t, std::function<void()> handler) {
-  std::unique_lock<std::mutex> lock(mu_);
-  pushEventLocked(t, -1, std::move(handler));
+void Engine::recordError(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!error_) error_ = std::move(e);
+}
+
+void Engine::unwindPartition(Partition& p) {
+  assert(aborting_.load(std::memory_order_relaxed));
+  for (Rank r = p.lo; r < p.hi; ++r) {
+    RankSlot& s = slot(r);
+    if (s.state == RankState::Done) continue;
+    // Resuming under aborting_ makes the fiber unwind via EngineAborted
+    // (or skip rankMain entirely if it never started) and finish.
+    resumeFiber(p, s);
+  }
+  p.queue.clear();
+  for (auto& box : p.outbox) box.clear();
+}
+
+void Engine::execute(Partition& p, Event& e) {
+  assert(e.time >= p.now);
+  p.now = e.time;
+  ++p.events;
+  p.current_domain = e.owner;
+  switch (e.kind) {
+    case EventKind::Handler:
+      try {
+        e.fn();
+      } catch (...) {
+        recordError(std::current_exception());
+        abort_requested_.store(true, std::memory_order_relaxed);
+      }
+      break;
+    case EventKind::Resume: {
+      RankSlot& s = slot(e.owner);
+      if (s.state == RankState::Done) break;
+      assert(s.state == RankState::Busy);
+      resumeFiber(p, s);
+      break;
+    }
+    case EventKind::Wake: {
+      RankSlot& s = slot(e.owner);
+      if (s.state == RankState::Done) break;
+      if (s.state == RankState::Sleeping) {
+        s.wake_pending = false;
+        resumeFiber(p, s);
+      } else {
+        // Arriving while the rank is busy: leave the token for its next
+        // sleep().
+        s.wake_pending = true;
+      }
+      break;
+    }
+  }
+  p.current_domain = -1;
+}
+
+void Engine::resumeFiber(Partition& p, RankSlot& s) {
+  s.state = RankState::Running;
+  s.fiber->resume(p.sched_ctx);
+}
+
+void Engine::rankFiberEntry(void* arg) {
+  auto* s = static_cast<RankSlot*>(arg);
+  Engine& eng = *s->engine;
+  Partition& p = *t_part;
+  std::exception_ptr failure;
+  if (!eng.aborting_.load(std::memory_order_relaxed)) {
+    Context ctx(eng, s->rank);
+    try {
+      (*eng.rank_main_)(ctx);
+    } catch (const EngineAborted&) {
+      // Unwound deliberately; not an error.
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  }
+  // Moved, not copied: finishRank never returns (the fiber dies in its
+  // final switch), so a local exception_ptr reference would never be
+  // released and the exception object would leak.
+  eng.finishRank(p, s->rank, std::move(failure));
+}
+
+void Engine::finishRank(Partition& p, Rank rank, std::exception_ptr failure) {
+  RankSlot& s = slot(rank);
+  s.state = RankState::Done;
+  --p.alive;
+  if (failure) {
+    recordError(std::move(failure));
+    abort_requested_.store(true, std::memory_order_relaxed);
+  }
+  Fiber::switchTo(s.fiber->context(), p.sched_ctx, /*from_dying=*/true);
+  std::abort();  // a finished fiber must never be resumed
+}
+
+TimeNs Engine::pushEvent(Partition& p, Rank owner, TimeNs t, EventKind kind,
+                         InlineFn fn) {
+  Event e;
+  e.time = t < p.now ? p.now : t;
+  e.src = p.current_domain;
+  e.seq = nextSeq(e.src);
+  e.owner = owner;
+  e.kind = kind;
+  e.fn = std::move(fn);
+  const TimeNs eff = e.time;
+  Partition& q = *parts_[static_cast<std::size_t>(slot(owner).part)];
+  if (&q == &p) {
+    p.queue.push(std::move(e));
+  } else {
+    // Conservative-parallel safety: an event for another partition may not
+    // land inside the current lookahead window (its partition may already
+    // have executed past that instant).
+    if (t < p.now + lookahead_) {
+      throw std::logic_error(
+          "Engine: cross-partition event scheduled inside the lookahead "
+          "window; delay it by at least lookahead() or keep it on the "
+          "calling rank's partition");
+    }
+    p.outbox[static_cast<std::size_t>(q.index)].push_back(std::move(e));
+  }
+  return eff;
+}
+
+TimeNs Engine::schedule(TimeNs t, InlineFn handler) {
+  Partition* p = t_part;
+  if (p == nullptr) return t;  // outside run(): nothing to attach to
+  return pushEvent(*p, p->current_domain, t, EventKind::Handler,
+                   std::move(handler));
+}
+
+TimeNs Engine::scheduleFor(Rank owner, TimeNs t, InlineFn handler) {
+  Partition* p = t_part;
+  if (p == nullptr) return t;
+  return pushEvent(*p, owner, t, EventKind::Handler, std::move(handler));
 }
 
 void Engine::wake(Rank rank) {
-  std::unique_lock<std::mutex> lock(mu_);
-  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
-  if (slot.state == RankState::Done) return;
-  if (slot.state == RankState::Sleeping && !slot.wake_pending) {
-    slot.wake_pending = true;
-    pushEventLocked(now_, rank, nullptr);
-  } else {
-    slot.wake_pending = true;
+  Partition& p = *t_part;
+  RankSlot& s = slot(rank);
+  if (s.part != p.index) {
+    throw std::logic_error(
+        "Engine::wake: target rank lives on another partition; use "
+        "wakeAt(rank, now() + lookahead())");
   }
+  if (s.state == RankState::Done) return;
+  if (s.state == RankState::Sleeping && !s.wake_pending) {
+    s.wake_pending = true;
+    pushEvent(p, rank, p.now, EventKind::Wake, {});
+  } else {
+    s.wake_pending = true;
+  }
+}
+
+void Engine::wakeAt(Rank rank, TimeNs t) {
+  Partition* p = t_part;
+  if (p == nullptr) return;
+  pushEvent(*p, rank, t, EventKind::Wake, {});
 }
 
 void Engine::rankCompute(Rank rank, DurationNs d) {
   assert(d >= 0);
-  std::unique_lock<std::mutex> lock(mu_);
-  if (aborting_) {
+  if (aborting_.load(std::memory_order_relaxed)) {
     // Don't schedule a timed resume nobody will deliver (the abort discards
     // the event queue); unwind, or no-op if already unwinding.
     unwindIfSafe();
     return;
   }
-  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
-  Event ev;
-  ev.time = now_ + d;
-  ev.seq = seq_++;
-  ev.wake_rank = rank;
-  ev.timed_resume = true;
-  events_.push(std::move(ev));
-  slot.state = RankState::Busy;
-  yieldToEngine(lock, rank);
+  Partition& p = *t_part;
+  RankSlot& s = slot(rank);
+  pushEvent(p, rank, p.now + d, EventKind::Resume, {});
+  s.state = RankState::Busy;
+  Fiber::switchTo(s.fiber->context(), p.sched_ctx, /*from_dying=*/false);
+  if (aborting_.load(std::memory_order_relaxed)) unwindIfSafe();
 }
 
 void Engine::rankSleep(Rank rank) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (aborting_) {
+  if (aborting_.load(std::memory_order_relaxed)) {
     unwindIfSafe();
     return;
   }
-  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
-  if (slot.wake_pending) {
-    slot.wake_pending = false;
+  Partition& p = *t_part;
+  RankSlot& s = slot(rank);
+  if (s.wake_pending) {
+    s.wake_pending = false;
     return;
   }
-  slot.state = RankState::Sleeping;
-  yieldToEngine(lock, rank);
-}
-
-void Engine::yieldToEngine(std::unique_lock<std::mutex>& lock, Rank rank) {
-  RankSlot& slot = *ranks_[static_cast<std::size_t>(rank)];
-  engine_turn_ = true;
-  engine_cv_.notify_one();
-  slot.cv.wait(lock, [&] { return slot.resume; });
-  slot.resume = false;
-  if (aborting_) unwindIfSafe();
+  s.state = RankState::Sleeping;
+  Fiber::switchTo(s.fiber->context(), p.sched_ctx, /*from_dying=*/false);
+  if (aborting_.load(std::memory_order_relaxed)) unwindIfSafe();
 }
 
 }  // namespace ovp::sim

@@ -1,39 +1,61 @@
 // Deterministic discrete-event simulation engine.
 //
 // The engine models a cluster job: N simulated processes (ranks), each
-// executed by a dedicated OS thread running ordinary *blocking* C++ code,
-// plus an event queue of timed handlers (used by the NIC/fabric model).
+// running ordinary *blocking* C++ code on a lightweight stackful fiber
+// (sim/fiber.hpp), plus timed event handlers (used by the NIC/fabric
+// model).  A fiber switch is a userspace register swap, so handing control
+// between the scheduler and a rank costs nanoseconds, not futex round
+// trips.
 //
-// Execution is strictly sequential: at any instant exactly one thread — the
-// engine thread or a single rank thread — is runnable; control is handed
-// over explicitly under a mutex.  Events are ordered by (virtual time,
-// insertion sequence), so simulations are bit-reproducible regardless of
-// host scheduling.  This is a classic conservative sequential DES; the
-// thread-per-rank shape exists purely so that application code (NAS
-// kernels, microbenchmarks) can call blocking communication routines the
-// way real MPI programs do.
+// Two execution modes, selected with setWorkers():
+//
+//   * Sequential (workers <= 1, the default): one host thread pops events
+//     from a calendar queue in (time, src, seq) order and runs them.
+//
+//   * Conservative parallel (workers > 1): ranks are partitioned into
+//     contiguous blocks, one block per worker thread, each with its own
+//     event queue and clock.  The fabric's minimum cross-rank delay
+//     ("lookahead" L, see setLookahead) bounds how far any rank can affect
+//     another, so all events in the window [T, T+L) — T being the global
+//     minimum pending time — are causally independent across partitions
+//     and run concurrently.  Events created for a *different* partition
+//     must lie at least L in the future; they are staged in per-worker
+//     outboxes and merged at the window barrier, before their time becomes
+//     reachable.  See DESIGN.md §5.14 for the full protocol.
+//
+// Determinism.  Every event carries the key (time, src, seq): `src` is the
+// domain (rank, or -1 for the driver) whose execution created it, `seq`
+// that domain's private creation counter.  Each domain's execution history
+// is identical in both modes (induction over windows), so keys — and with
+// them every observable: event counts, finish times, traces, reports — are
+// bit-identical at any worker count.  A run with the fault model enabled
+// must be sequential (the fault RNG is consumed in global event order);
+// mpi::Machine enforces this.
 //
 // Rank code interacts with the engine through sim::Context:
 //   * compute(d)/advance(d): advance virtual time by d (the rank is busy).
 //   * sleep(): block until some event handler calls wake(rank).
-//   * schedule()/after(): enqueue timed handlers (run on the engine thread).
+//   * schedule()/after(): enqueue timed handlers for the *calling* rank's
+//     domain; wakeAt()/scheduleFor() target other ranks across partitions.
 //
 // A wake() targeting a rank that is currently busy (inside compute()) is
 // remembered as a pending token and consumed by the rank's next sleep(), so
 // the usual `while (!cond) sleep();` loop never loses a wakeup.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
 #include "util/types.hpp"
 
 namespace ovp::sim {
@@ -82,81 +104,155 @@ class Engine {
   /// independent job; virtual time restarts at 0).
   void run(int nranks, const std::function<void(Context&)>& rankMain);
 
-  /// Current virtual time.  Callable from rank code and handlers.
-  [[nodiscard]] TimeNs now() const { return now_; }
+  /// Current virtual time: the executing partition's clock from rank code
+  /// and handlers during run(); the finish time of the last run otherwise.
+  [[nodiscard]] TimeNs now() const;
 
-  /// Enqueues `handler` to run on the engine thread at absolute time t
-  /// (clamped to now()).  Callable from rank code and handlers.
-  void schedule(TimeNs t, std::function<void()> handler);
+  /// Enqueues `handler` at absolute time max(t, now()) on the calling
+  /// domain.  The clamp to now() is part of the contract: a handler
+  /// scheduled for the past runs at the current instant, ordered *after*
+  /// every same-time event created earlier by this domain (the (time, src,
+  /// seq) key; see file header).  Returns the effective time.  Must be
+  /// called from rank code or a handler during run().
+  TimeNs schedule(TimeNs t, InlineFn handler);
 
   /// Enqueues `handler` to run after duration d from now.
-  void after(DurationNs d, std::function<void()> handler) {
-    schedule(now_ + d, std::move(handler));
+  void after(DurationNs d, InlineFn handler) {
+    schedule(now() + d, std::move(handler));
   }
 
+  /// Enqueues `handler` at max(t, now()) on `owner`'s domain — the handler
+  /// runs on owner's partition with now() == the event time there.  If
+  /// `owner` lives on a different partition than the caller, t must be at
+  /// least now() + lookahead (throws std::logic_error otherwise); such
+  /// events are merged at the next window barrier.  Returns the effective
+  /// time.
+  TimeNs scheduleFor(Rank owner, TimeNs t, InlineFn handler);
+
   /// Requests that `rank` be resumed if it is (or next goes) to sleep.
-  /// Idempotent while a previous wake is still pending.
+  /// Idempotent while a previous wake is still pending.  The target must
+  /// live on the calling partition (always true sequentially); use wakeAt()
+  /// to wake across partitions.
   void wake(Rank rank);
+
+  /// Delivers a wake token to `rank` at absolute time t: if the rank is
+  /// sleeping then, it resumes at t; if busy, the token is consumed by its
+  /// next sleep().  Cross-partition legal when t >= now() + lookahead.
+  void wakeAt(Rank rank, TimeNs t);
+
+  /// Requested worker count for subsequent runs.  Values <= 1, a zero
+  /// lookahead, or fewer than 2 ranks all select sequential mode.
+  void setWorkers(int workers) { workers_requested_ = workers; }
+  [[nodiscard]] int workersRequested() const { return workers_requested_; }
+  /// Worker count actually used by the last run.
+  [[nodiscard]] int workersUsed() const { return workers_used_; }
+
+  /// Minimum cross-partition event delay, in ns — the conservative-parallel
+  /// lookahead.  The fabric exports its minimum link latency here
+  /// (FabricParams::lookahead()) when it attaches to the engine.
+  void setLookahead(DurationNs l) { lookahead_ = l; }
+  [[nodiscard]] DurationNs lookahead() const { return lookahead_; }
 
   /// Virtual time at which the last run() finished (max over final events).
   [[nodiscard]] TimeNs finishTime() const { return finish_time_; }
 
-  /// Total events processed by the last run (diagnostic).
-  [[nodiscard]] std::int64_t eventsProcessed() const { return events_processed_; }
+  /// Total events processed by the last run (diagnostic).  Identical across
+  /// worker counts.
+  [[nodiscard]] std::int64_t eventsProcessed() const {
+    return events_processed_;
+  }
 
  private:
   enum class RankState : std::uint8_t { Running, Busy, Sleeping, Done };
 
   struct RankSlot {
-    std::thread thread;
+    std::unique_ptr<Fiber> fiber;
+    Engine* engine = nullptr;  // fiber entry argument
+    Rank rank = -1;
     RankState state = RankState::Sleeping;
     bool wake_pending = false;
-    bool resume = false;  // handoff token: rank may run
-    std::condition_variable cv;
+    int part = 0;  // partition index
   };
 
-  struct Event {
-    TimeNs time = 0;
-    std::int64_t seq = 0;
-    Rank wake_rank = -1;                // >= 0: resume this rank
-    bool timed_resume = false;          // true: end of a compute() interval
-    std::function<void()> handler;      // wake_rank < 0: run this
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  /// One partition: a contiguous rank block, its event queue and clock, and
+  /// (parallel mode) the worker thread driving it.  Sequential mode is one
+  /// partition driven by the calling thread.
+  struct Partition {
+    int index = 0;
+    Rank lo = 0, hi = 0;  // ranks [lo, hi)
+    CalendarQueue queue;
+    TimeNs now = 0;
+    Rank current_domain = -1;  // domain executing right now (-1: scheduler)
+    std::int64_t events = 0;
+    int alive = 0;
+    FiberContext sched_ctx;
+    std::vector<std::vector<Event>> outbox;  // per destination partition
+    std::thread thread;
   };
 
-  // --- rank-thread side (called via Context) ---
+  // --- rank-fiber side (called via Context) ---
   friend class Context;
   void rankCompute(Rank rank, DurationNs d);
   void rankSleep(Rank rank);
-  /// Blocks the calling rank thread until its resume token is set; the
-  /// engine thread is released first.  Must hold `lock`.
-  void yieldToEngine(std::unique_lock<std::mutex>& lock, Rank rank);
+  static void rankFiberEntry(void* arg);
+  void finishRank(Partition& p, Rank rank, std::exception_ptr failure);
 
-  // --- engine-thread side ---
-  void mainLoop(int nranks);
-  void runRank(std::unique_lock<std::mutex>& lock, Rank rank);
-  void finishRankLocked(Rank rank, std::exception_ptr failure);
-  void abortLocked(std::unique_lock<std::mutex>& lock, const char* why);
+  // --- scheduler side ---
+  enum class WindowDecision : std::uint8_t { Run, Abort, Done };
 
-  void pushEventLocked(TimeNs t, Rank wakeRank, std::function<void()> handler);
+  [[nodiscard]] int effectiveWorkers(int nranks) const;
+  RankSlot& slot(Rank r) { return *ranks_[static_cast<std::size_t>(r)]; }
+  std::int64_t nextSeq(Rank domain) {
+    return domain_seq_[static_cast<std::size_t>(domain + 1)]++;
+  }
+  TimeNs pushEvent(Partition& p, Rank owner, TimeNs t, EventKind kind,
+                   InlineFn fn);
+  void execute(Partition& p, Event& e);
+  void resumeFiber(Partition& p, RankSlot& s);
+  void sequentialLoop(Partition& p);
+  void workerLoop(Partition& p);
+  /// Merges outboxes, then decides the next window (or done/deadlock/abort).
+  /// Runs single-threaded between the window barriers.
+  void coordinateWindow();
+  void unwindPartition(Partition& p);
+  void recordError(std::exception_ptr e);
+  void deadlock();
+  /// Blocks until every worker arrives; the last to arrive runs
+  /// coordinateWindow() before releasing the others.
+  void barrierWait();
 
-  mutable std::mutex mu_;
-  std::condition_variable engine_cv_;
+  /// The partition the calling thread is currently driving (null outside
+  /// run()).  Rank fibers share their worker thread's TLS, so this is valid
+  /// from rank code, handlers and the scheduler alike.
+  static thread_local Partition* t_part;
+
   std::vector<std::unique_ptr<RankSlot>> ranks_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  TimeNs now_ = 0;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<std::int64_t> domain_seq_;  // [0]: driver, [r+1]: rank r
+  const std::function<void(Context&)>* rank_main_ = nullptr;
+
+  int workers_requested_ = 1;
+  int workers_used_ = 1;
+  DurationNs lookahead_ = 0;
   TimeNs finish_time_ = 0;
-  std::int64_t seq_ = 0;
   std::int64_t events_processed_ = 0;
-  int alive_ = 0;
-  bool engine_turn_ = true;
-  bool aborting_ = false;
+
+  // Parallel-mode shared state.  `aborting_` is also read by rank fibers in
+  // sequential mode (hot path), hence atomic with relaxed loads; the window
+  // barrier provides all cross-thread ordering.  window_horizon_ and
+  // window_decision_ are written only by the barrier coordinator (all other
+  // workers blocked) and read after the barrier releases.
+  std::atomic<bool> aborting_{false};
+  std::atomic<bool> abort_requested_{false};
+  std::mutex error_mu_;
   std::exception_ptr error_;
+  TimeNs window_horizon_ = 0;
+  WindowDecision window_decision_ = WindowDecision::Run;
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  int barrier_parties_ = 0;
+  std::uint64_t barrier_phase_ = 0;
 };
 
 }  // namespace ovp::sim

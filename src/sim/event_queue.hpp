@@ -1,0 +1,192 @@
+// Event representation and calendar-queue scheduling for the engine.
+//
+// Ordering key.  Events execute in ascending (time, src, seq) order, where
+// `src` is the *domain* (rank, or -1 for the pre-run driver) whose execution
+// created the event and `seq` is that domain's private creation counter.
+// This key is mode-independent: each domain's execution history — and hence
+// the events it creates and the counter values it assigns — is identical
+// whether the engine runs sequentially or partitioned across workers, which
+// is what makes parallel runs bit-identical to sequential ones.  A global
+// insertion counter (the previous scheme) would not be: insertion order
+// interleaves differently at different worker counts.
+//
+// The calendar queue (Brown 1988) is the classic O(1) priority queue for
+// discrete-event simulation: a circular array of time buckets of fixed
+// width, with the dequeue cursor sweeping buckets in time order.  Buckets
+// are kept sorted (descending, so the bucket minimum pops from the back);
+// the bucket count and width adapt to the live event population.  Events
+// are stored by value — closures use InlineFn's inline capture buffer — so
+// steady-state operation performs no per-event heap allocation.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/inline_fn.hpp"
+#include "util/types.hpp"
+
+namespace ovp::sim {
+
+enum class EventKind : std::uint8_t {
+  Handler,  // run fn
+  Resume,   // end of owner's compute() interval
+  Wake,     // deliver a wake token to owner
+};
+
+struct Event {
+  TimeNs time = 0;
+  Rank src = -1;          // creating domain (tie-break)
+  std::int64_t seq = 0;   // creating domain's counter (tie-break)
+  Rank owner = -1;        // domain this event executes on
+  EventKind kind = EventKind::Handler;
+  InlineFn fn;
+};
+
+/// Strict total order on events: (time, src, seq).
+inline bool eventBefore(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+class CalendarQueue {
+ public:
+  CalendarQueue() { initBuckets(kMinBuckets, kInitShift); }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+    size_ = 0;
+    last_ = 0;
+    cached_min_ = -1;
+  }
+
+  /// Inserts `e`.  `e.time` must be >= the time of the last popped event
+  /// (the engine clamps all scheduling to its current clock, so this holds
+  /// by construction).
+  void push(Event&& e) {
+    assert(e.time >= last_);
+    cached_min_ = -1;
+    std::vector<Event>& b = buckets_[bucketOf(e.time)];
+    // Descending order: the bucket minimum lives at the back.
+    auto pos = std::upper_bound(
+        b.begin(), b.end(), e,
+        [](const Event& x, const Event& y) { return eventBefore(y, x); });
+    b.insert(pos, std::move(e));
+    ++size_;
+    if (size_ > buckets_.size() * 2) rebuild(buckets_.size() * 2);
+  }
+
+  /// Time of the earliest event, or kTimeNever when empty.
+  [[nodiscard]] TimeNs minTime() {
+    if (size_ == 0) return kTimeNever;
+    return buckets_[findMinBucket()].back().time;
+  }
+
+  /// Removes and returns the (time, src, seq)-minimal event.
+  Event pop() {
+    assert(size_ != 0);
+    const std::size_t b = findMinBucket();
+    Event e = std::move(buckets_[b].back());
+    buckets_[b].pop_back();
+    --size_;
+    last_ = e.time;
+    cached_min_ = -1;
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+      rebuild(buckets_.size() / 2);
+    }
+    return e;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr int kInitShift = 10;  // 1us-wide days to start with
+
+  [[nodiscard]] std::size_t bucketOf(TimeNs t) const {
+    return static_cast<std::size_t>(t >> shift_) & (buckets_.size() - 1);
+  }
+
+  void initBuckets(std::size_t n, int shift) {
+    buckets_.clear();
+    buckets_.resize(n);
+    shift_ = shift;
+  }
+
+  /// Index of the bucket holding the minimal event.  One sweep of the
+  /// calendar "year" starting at the current day finds any due event in
+  /// time order; if the year is empty (a long jump in virtual time) fall
+  /// back to a direct scan of all bucket minima.
+  std::size_t findMinBucket() {
+    if (cached_min_ >= 0) return static_cast<std::size_t>(cached_min_);
+    const std::size_t nb = buckets_.size();
+    const TimeNs day0 = last_ >> shift_;
+    for (std::size_t i = 0; i < nb; ++i) {
+      const std::size_t b = (static_cast<std::size_t>(day0) + i) & (nb - 1);
+      const TimeNs day_end = (day0 + static_cast<TimeNs>(i) + 1) << shift_;
+      if (!buckets_[b].empty() && buckets_[b].back().time < day_end) {
+        cached_min_ = static_cast<std::ptrdiff_t>(b);
+        return b;
+      }
+    }
+    std::size_t best = nb;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (buckets_[b].empty()) continue;
+      if (best == nb ||
+          eventBefore(buckets_[b].back(), buckets_[best].back())) {
+        best = b;
+      }
+    }
+    cached_min_ = static_cast<std::ptrdiff_t>(best);
+    return best;
+  }
+
+  /// Re-buckets all events into `n` buckets with a day width matched to the
+  /// current event population (average inter-event gap, rounded to a power
+  /// of two).  Deterministic: depends only on queue contents.
+  void rebuild(std::size_t n) {
+    std::vector<Event> all;
+    all.reserve(size_);
+    for (auto& b : buckets_) {
+      for (auto& e : b) all.push_back(std::move(e));
+      b.clear();
+    }
+    TimeNs lo = kTimeNever;
+    TimeNs hi = 0;
+    for (const Event& e : all) {
+      lo = std::min(lo, e.time);
+      hi = std::max(hi, e.time);
+    }
+    int shift = kInitShift;
+    if (all.size() > 1 && hi > lo) {
+      const TimeNs span = hi - lo;
+      const TimeNs gap =
+          std::max<TimeNs>(1, span / static_cast<TimeNs>(all.size()));
+      shift = 0;
+      while (shift < 40 && (TimeNs{1} << shift) < gap * 2) ++shift;
+    }
+    initBuckets(n, shift);
+    cached_min_ = -1;
+    const std::size_t count = all.size();
+    size_ = 0;
+    for (auto& e : all) {
+      std::vector<Event>& b = buckets_[bucketOf(e.time)];
+      auto pos = std::upper_bound(
+          b.begin(), b.end(), e,
+          [](const Event& x, const Event& y) { return eventBefore(y, x); });
+      b.insert(pos, std::move(e));
+    }
+    size_ = count;
+  }
+
+  std::vector<std::vector<Event>> buckets_;
+  int shift_ = kInitShift;
+  std::size_t size_ = 0;
+  TimeNs last_ = 0;  // time floor: no live event is earlier than this
+  std::ptrdiff_t cached_min_ = -1;
+};
+
+}  // namespace ovp::sim

@@ -1,0 +1,114 @@
+// InlineFn: a move-only `void()` callable with inline small-buffer storage.
+//
+// The engine's event queue stores millions of short-lived closures; wrapping
+// each in std::function would heap-allocate (libstdc++'s inline buffer is 16
+// bytes) and require copyability.  InlineFn stores captures up to kInline
+// bytes in place, falls back to the heap for larger ones, and is move-only,
+// so closures may own shared_ptr / unique_ptr state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ovp::sim {
+
+class InlineFn {
+ public:
+  /// Inline capture capacity.  Sized for the NIC model's largest hot-path
+  /// closure (a few pointers + sizes + a shared_ptr); bigger captures still
+  /// work via the heap fallback.
+  static constexpr std::size_t kInline = 64;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInline && alignof(Fn) <= alignof(Storage) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inlineOps<Fn>();
+    } else {
+      ::new (static_cast<void*>(buf_))
+          std::unique_ptr<Fn>(std::make_unique<Fn>(std::forward<F>(f)));
+      ops_ = &heapOps<Fn>();
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { moveFrom(std::move(other)); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(std::move(other));
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->call(buf_); }
+
+ private:
+  struct Ops {
+    void (*call)(void* self);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* self);
+  };
+  using Storage = std::aligned_storage_t<kInline, alignof(std::max_align_t)>;
+
+  template <typename Fn>
+  static const Ops& inlineOps() {
+    static constexpr Ops ops = {
+        [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+        [](void* dst, void* src) {
+          Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); }};
+    return ops;
+  }
+
+  template <typename Fn>
+  static const Ops& heapOps() {
+    using Box = std::unique_ptr<Fn>;
+    static constexpr Ops ops = {
+        [](void* self) { (**std::launder(reinterpret_cast<Box*>(self)))(); },
+        [](void* dst, void* src) {
+          Box* s = std::launder(reinterpret_cast<Box*>(src));
+          ::new (dst) Box(std::move(*s));
+          s->~Box();
+        },
+        [](void* self) { std::launder(reinterpret_cast<Box*>(self))->~Box(); }};
+    return ops;
+  }
+
+  void moveFrom(InlineFn&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(Storage) unsigned char buf_[kInline];
+};
+
+}  // namespace ovp::sim

@@ -16,7 +16,7 @@ constexpr std::string_view kKnownOvprofFlags[] = {
     "ovprof-trace-capacity", "ovprof-trace-window",
     "ovprof-lint", "ovprof-lint-json",
     "ovprof-model", "ovprof-model-param",
-    "ovprof-check-json",
+    "ovprof-check-json", "ovprof-workers",
 };
 
 bool knownOvprofFlag(std::string_view name) {
@@ -158,6 +158,16 @@ double modelParamRequested(const Flags& flags) {
   return parseDouble(env, v) ? v : 0.0;
 }
 
+int workersRequested(const Flags& flags) {
+  if (flags.has("ovprof-workers")) {
+    return static_cast<int>(flags.getInt("ovprof-workers", 1));
+  }
+  const char* env = std::getenv("OVPROF_WORKERS");
+  if (env == nullptr) return 1;
+  std::int64_t v = 0;
+  return parseInt(env, v) ? static_cast<int>(v) : 1;
+}
+
 bool helpRequested(const Flags& flags) {
   return flags.getBool("help", false);
 }
@@ -199,7 +209,12 @@ const char* ovprofHelpText() {
       "                               also: OVPROF_MODEL=FILE\n"
       "  --ovprof-model-param=X       sweep parameter recorded in the model\n"
       "                               sample (default: mean bytes per\n"
-      "                               transfer); also: OVPROF_MODEL_PARAM\n";
+      "                               transfer); also: OVPROF_MODEL_PARAM\n"
+      "  --ovprof-workers=N           run the simulation engine with N worker\n"
+      "                               threads (conservative parallel mode;\n"
+      "                               results are bit-identical to N=1; fault\n"
+      "                               injection forces N=1); also:\n"
+      "                               OVPROF_WORKERS=N\n";
 }
 
 }  // namespace ovp::util

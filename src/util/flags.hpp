@@ -77,6 +77,12 @@ class Flags {
 /// then defaults to mean bytes per transfer).
 [[nodiscard]] double modelParamRequested(const Flags& flags);
 
+/// Engine worker-thread count: the value from --ovprof-workers=N, or from
+/// the OVPROF_WORKERS environment variable when the flag is absent; 1 when
+/// neither is set.  Parallel runs are bit-identical to sequential ones, so
+/// this only trades host time for threads.
+[[nodiscard]] int workersRequested(const Flags& flags);
+
 /// True when --help (or -h as the sole positional-looking argument) was
 /// passed.  parse() accepts "-h" specially for this.
 [[nodiscard]] bool helpRequested(const Flags& flags);

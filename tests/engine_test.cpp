@@ -1,0 +1,284 @@
+// Replay-equivalence harness for the two-mode engine: the conservative
+// parallel scheduler must be bit-identical to the sequential core at any
+// worker count.  Randomized seeded workloads (compute + timers + cross-rank
+// wakes) run at 1/2/4/8 workers and every per-rank log, the finish time and
+// the processed-event count are compared exactly; a machine-level halo job
+// compares the exported trace CSV byte-for-byte.  Also pins the engine
+// invariants the equivalence proof leans on — the past-time schedule clamp
+// and the (time, src, seq) tie-break — and re-runs the wake-token-loss and
+// abort-during-compute regressions under the parallel scheduler.
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpi/mpi.hpp"
+#include "sim/engine.hpp"
+#include "trace/export.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define OVP_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OVP_UNDER_TSAN 1
+#endif
+#endif
+
+namespace ovp::sim {
+namespace {
+
+// splitmix64: tiny, seedable, and identical on every platform (the C++
+// standard fixes <random> engines but not distributions).
+std::uint64_t nextRnd(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct RunResult {
+  TimeNs finish = 0;
+  std::int64_t events = 0;
+  std::vector<std::vector<std::uint64_t>> logs;
+
+  bool operator==(const RunResult& o) const {
+    return finish == o.finish && events == o.events && logs == o.logs;
+  }
+};
+
+/// The property workload: each rank interleaves random compute, a timer
+/// event on its own timeline, and a ring wake to its right neighbor before
+/// sleeping on the token from its left one.  Tokens are balanced (one wake
+/// sent and one consumed per rank per step), so the job cannot deadlock,
+/// while the log captures the exact interleaving of fiber resumes (even
+/// entries) and timer handlers (odd entries) in virtual time.
+RunResult runWorkload(int nranks, int workers, std::uint64_t seed,
+                      int steps) {
+  constexpr DurationNs kLookahead = 1500;
+  Engine eng;
+  eng.setWorkers(workers);
+  eng.setLookahead(kLookahead);
+  RunResult res;
+  res.logs.assign(static_cast<std::size_t>(nranks), {});
+  eng.run(nranks, [&](Context& ctx) {
+    const int r = ctx.rank();
+    auto& log = res.logs[static_cast<std::size_t>(r)];
+    Engine& e = ctx.engine();
+    std::uint64_t s = seed ^ (0xA5A5A5A5ull * static_cast<unsigned>(r + 1));
+    for (int it = 0; it < steps; ++it) {
+      log.push_back(static_cast<std::uint64_t>(ctx.now()) * 2);
+      ctx.compute(static_cast<DurationNs>(nextRnd(s) % 997));
+      e.after(static_cast<DurationNs>(nextRnd(s) % 503), [&log, &e] {
+        log.push_back(static_cast<std::uint64_t>(e.now()) * 2 + 1);
+      });
+      // Cross-partition wakes must respect the lookahead horizon.
+      e.wakeAt((r + 1) % nranks,
+               ctx.now() + kLookahead + static_cast<TimeNs>(nextRnd(s) % 900));
+      ctx.sleep();
+      log.push_back(static_cast<std::uint64_t>(ctx.now()) * 2);
+    }
+  });
+  res.finish = eng.finishTime();
+  res.events = eng.eventsProcessed();
+  return res;
+}
+
+TEST(ReplayEquivalence, RandomWorkloadsBitIdenticalAtEveryWorkerCount) {
+  for (const std::uint64_t seed : {17ull, 404ull, 90210ull}) {
+    for (const int nranks : {5, 8}) {
+      const RunResult ref = runWorkload(nranks, 1, seed, 25);
+      ASSERT_FALSE(ref.logs[0].empty());
+      for (const int workers : {2, 4, 8}) {
+        EXPECT_EQ(runWorkload(nranks, workers, seed, 25), ref)
+            << "seed=" << seed << " nranks=" << nranks
+            << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(ReplayEquivalence, TenThousandRankSmoke) {
+  // Scale smoke: a 10k-rank run must complete, match the sequential replay
+  // bit-for-bit, and stay inside a memory budget (fiber stacks are
+  // MAP_NORESERVE, so 10k mostly-untouched stacks stay cheap).
+#if defined(OVP_UNDER_TSAN)
+  GTEST_SKIP() << "TSan shadow memory cannot hold 10k fiber stacks";
+#endif
+  const RunResult seq = runWorkload(10000, 1, 7ull, 2);
+  const RunResult par = runWorkload(10000, 4, 7ull, 2);
+  EXPECT_EQ(par, seq);
+  EXPECT_GT(seq.finish, 0);
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  EXPECT_LT(usage.ru_maxrss, 1536L * 1024)  // kB: < 1.5 GB peak RSS
+      << "10k-rank smoke blew the memory budget";
+}
+
+std::string runHaloTrace(int workers, TimeNs* finish) {
+  mpi::JobConfig cfg;
+  cfg.nranks = 8;
+  cfg.workers = workers;
+  cfg.trace.enabled = true;
+  mpi::Machine machine(cfg);
+  machine.run([](mpi::Mpi& mpi) {
+    const int rank = mpi.rank();
+    const int n = mpi.size();
+    const int left = (rank + n - 1) % n;
+    const int right = (rank + 1) % n;
+    std::vector<double> sl(512), sr(512), rl(512), rr(512);
+    double sum = 0.0;
+    for (int it = 0; it < 4; ++it) {
+      mpi::Request a = mpi.irecvT(rl.data(), 512, left, 1);
+      mpi::Request b = mpi.irecvT(rr.data(), 512, right, 2);
+      mpi::Request c = mpi.isendT(sl.data(), 512, left, 2);
+      mpi::Request d = mpi.isendT(sr.data(), 512, right, 1);
+      mpi.compute(3000);
+      mpi.wait(a);
+      mpi.wait(b);
+      mpi.wait(c);
+      mpi.wait(d);
+      double total = 0.0;
+      mpi.allreduce(&sum, &total, 1, mpi::Op::Sum);
+      sum = total;
+    }
+  });
+  *finish = machine.finishTime();
+  std::ostringstream os;
+  trace::writeCsv(*machine.traceCollector(), os);
+  return os.str();
+}
+
+TEST(ReplayEquivalence, MachineLevelHaloTraceBytesIdentical) {
+  TimeNs f1 = 0;
+  const std::string ref = runHaloTrace(1, &f1);
+  ASSERT_FALSE(ref.empty());
+  for (const int workers : {2, 4}) {
+    TimeNs fw = 0;
+    EXPECT_EQ(runHaloTrace(workers, &fw), ref) << "workers=" << workers;
+    EXPECT_EQ(fw, f1) << "workers=" << workers;
+  }
+}
+
+TEST(Engine, SchedulePastTimeClampsToNow) {
+  // DESIGN 5.14 invariant: an event scheduled behind the caller's clock is
+  // clamped to `now` (never reordered into the past), and the clamped time
+  // is what schedule() returns.
+  Engine eng;
+  eng.run(1, [&](Context& ctx) {
+    ctx.compute(1000);
+    TimeNs ran_at = -1;
+    Engine& e = ctx.engine();
+    const TimeNs t = e.schedule(500, [&ran_at, &e] { ran_at = e.now(); });
+    EXPECT_EQ(t, 1000);
+    ctx.compute(1);  // yield so the clamped event executes
+    EXPECT_EQ(ran_at, 1000);
+  });
+}
+
+TEST(Engine, EqualTimeEventsOrderByCreatingDomainThenSeq) {
+  // The mode-independent event key is (time, src, seq): ties at one
+  // timestamp break by creating rank, then by that rank's private counter.
+  // This ordering is what makes the window-merge in parallel mode
+  // reproduce the sequential schedule, so pin it.
+  Engine eng;
+  std::vector<int> order;
+  eng.run(2, [&](Context& ctx) {
+    const int r = ctx.rank();
+    ctx.engine().schedule(1000, [&order, r] { order.push_back(r * 2); });
+    ctx.engine().schedule(1000, [&order, r] { order.push_back(r * 2 + 1); });
+    ctx.compute(2000);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParallelMode, WorkerCountClampRules) {
+  // requested<=1, zero lookahead, or a single rank all force sequential
+  // mode; otherwise the engine uses min(requested, nranks) workers.
+  Engine eng;
+  eng.setWorkers(4);
+  eng.run(4, [](Context& ctx) { ctx.compute(10); });
+  EXPECT_EQ(eng.workersUsed(), 1) << "no lookahead -> sequential";
+
+  eng.setLookahead(1500);
+  eng.run(1, [](Context& ctx) { ctx.compute(10); });
+  EXPECT_EQ(eng.workersUsed(), 1) << "one rank -> sequential";
+
+  eng.setWorkers(16);
+  eng.run(4, [](Context& ctx) { ctx.compute(10); });
+  EXPECT_EQ(eng.workersUsed(), 4) << "clamped to rank count";
+}
+
+TEST(ParallelMode, CrossPartitionScheduleInsideLookaheadThrows) {
+  // The conservative protocol's safety rule: an event for another
+  // partition must land at or beyond now + lookahead.  Violations are a
+  // programming error in library code and fail loudly.
+  Engine eng;
+  eng.setWorkers(2);
+  eng.setLookahead(1500);
+  EXPECT_THROW(eng.run(2,
+                       [](Context& ctx) {
+                         if (ctx.rank() == 0) {
+                           ctx.engine().scheduleFor(1, ctx.now() + 10,
+                                                    [] {});
+                         }
+                         ctx.compute(10);
+                       }),
+               std::logic_error);
+}
+
+TEST(ParallelMode, WakeDuringComputeIsRememberedAsToken) {
+  // PR-2 regression, re-run under the parallel scheduler: a wake landing
+  // while the target is mid-compute must persist as a token so the next
+  // sleep() returns immediately instead of deadlocking.
+  for (const int workers : {1, 2}) {
+    Engine eng;
+    eng.setWorkers(workers);
+    eng.setLookahead(1500);
+    TimeNs woke_at = -1;
+    eng.run(2, [&](Context& ctx) {
+      if (ctx.rank() == 1) {
+        ctx.engine().wakeAt(0, 2000);
+        return;
+      }
+      ctx.compute(5000);  // the wake lands at t=2000, mid-compute
+      ctx.sleep();        // must consume the token, not block
+      woke_at = ctx.now();
+    });
+    EXPECT_EQ(woke_at, 5000) << "workers=" << workers;
+  }
+}
+
+TEST(ParallelMode, RankExceptionAbortsCleanly) {
+  // Abort-during-compute regression under the parallel scheduler: one rank
+  // throwing must unwind every fiber on every worker and surface the
+  // original exception, leaving the engine reusable.
+  Engine eng;
+  eng.setWorkers(4);
+  eng.setLookahead(1500);
+  EXPECT_THROW(eng.run(8,
+                       [](Context& ctx) {
+                         ctx.compute(10);
+                         if (ctx.rank() == 3) {
+                           throw std::invalid_argument("rank failure");
+                         }
+                         ctx.compute(1000000);
+                         ctx.sleep();  // would deadlock; must be aborted
+                       }),
+               std::invalid_argument);
+  // Reusable after an aborted parallel run.
+  TimeNs t = -1;
+  eng.run(2, [&](Context& ctx) {
+    ctx.compute(100);
+    if (ctx.rank() == 0) t = ctx.now();
+  });
+  EXPECT_EQ(t, 100);
+}
+
+}  // namespace
+}  // namespace ovp::sim

@@ -5,11 +5,31 @@
 #include <memory>
 #include <stdexcept>
 
+#include <algorithm>
+#include <mutex>
+
 #include "analysis/stream_verifier.hpp"
 #include "mpi/config.hpp"  // analyticTable
 #include "trace/net_tap.hpp"
 
 namespace ovp::armci {
+
+namespace {
+
+/// net::Packet::channel of ARMCI's message-layer control traffic (disjoint
+/// from the MPI library's wire::Channel values).
+constexpr int kCtrlChannel = 64;
+
+/// Fixed-layout control-packet body (barrier tokens and reduction traffic).
+struct CtrlMsg {
+  CtrlKind kind = CtrlKind::BarrierToken;
+  std::int64_t epoch = 0;
+  int round = 0;
+  Rank src = -1;
+  double value = 0.0;
+};
+
+}  // namespace
 
 // RAII bracket stamping CALL_ENTER/CALL_EXIT (outermost level only).
 struct Armci::CallGuard {
@@ -120,7 +140,50 @@ void Armci::progress() {
     batch.clear();
   }
   drained_cq_ = std::move(batch);
+  // Receive-queue drain: the only two-sided traffic an ARMCI NIC sees is
+  // the library's own control channel (barrier tokens, reduction values).
+  net::Packet pkt;
+  while (nic_.pollRecv(pkt)) {
+    ctx_.advance(p.cq_poll_cost);
+    handleCtrl(pkt);
+  }
   ctx_.advance(p.cq_poll_cost);
+}
+
+void Armci::sendCtrl(Rank target, CtrlKind kind, std::int64_t epoch, int round,
+                     double value) {
+  CtrlMsg msg;
+  msg.kind = kind;
+  msg.epoch = epoch;
+  msg.round = round;
+  msg.src = ctx_.rank();
+  msg.value = value;
+  net::Packet pkt;
+  pkt.src = ctx_.rank();
+  pkt.channel = kCtrlChannel;
+  pkt.payload = net::packPod(msg);
+  ctx_.advance(fabric_.params().post_overhead);
+  // The Send CQE is drained (and ignored) by progress(): control packets
+  // never map to a pending user operation.
+  (void)nic_.postSend(target, std::move(pkt));
+}
+
+void Armci::handleCtrl(const net::Packet& pkt) {
+  if (pkt.channel != kCtrlChannel) {
+    throw std::logic_error("armci: unknown packet channel");
+  }
+  const CtrlMsg msg = net::unpackPod<CtrlMsg>(pkt.payload);
+  switch (msg.kind) {
+    case CtrlKind::BarrierToken:
+      barrier_tokens_.emplace(msg.epoch, msg.round);
+      break;
+    case CtrlKind::ReduceValue:
+      reduce_values_[{msg.epoch, msg.src}] = msg.value;
+      break;
+    case CtrlKind::ReduceResult:
+      reduce_results_[msg.epoch] = msg.value;
+      break;
+  }
 }
 
 void Armci::progressUntil(const std::function<bool()>& pred) {
@@ -298,8 +361,10 @@ std::vector<void*> Armci::collectiveMalloc(Bytes bytes) {
     throw std::logic_error("armci: collectiveMalloc needs a job");
   }
   SharedBarrier& b = *barrier_;
-  // Ranks execute strictly one at a time; rank 0 creates the slot between
-  // two barriers so everyone then fills and reads a consistent vector.
+  // Rank 0 creates the slot between two barriers; each rank then fills its
+  // own disjoint entry before the third.  The message barriers order every
+  // access (in parallel runs the engine's window protocol carries the
+  // cross-thread visibility), so the table needs no lock.
   barrier();
   if (ctx_.rank() == 0) {
     b.allocations.emplace_back(static_cast<std::size_t>(b.nranks));
@@ -355,45 +420,65 @@ void Armci::barrier() {
     throw std::logic_error("armci: barrier requires a SharedBarrier");
   }
   CallGuard guard(*this);
-  SharedBarrier& b = *barrier_;
-  const std::int64_t my_epoch = b.epoch;
-  if (++b.count == b.nranks) {
-    b.count = 0;
-    ++b.epoch;
-    // Release the peers after one wire hop (they learn via the message
-    // layer); self continues immediately.  One wake token per peer rank,
-    // delivered at its own domain — the cross-partition-legal form (the
-    // hop equals the engine lookahead), though ARMCI jobs currently run
-    // sequentially because SharedBarrier state is mutated from rank code.
-    sim::Engine& eng = ctx_.engine();
-    const int n = b.nranks;
-    const Rank me = ctx_.rank();
-    const TimeNs release_at = ctx_.now() + fabric_.params().wire_latency;
-    for (Rank r = 0; r < n; ++r) {
-      if (r != me) eng.wakeAt(r, release_at);
-    }
-    // Stamped at exit (both paths): the happens-before join for epoch
-    // `my_epoch` sits after every record this rank produced inside the
-    // barrier, including completions drained while waiting.
-    traceSync(trace::RecordKind::Barrier, my_epoch, -1);
-    return;
+  const int n = barrier_->nranks;
+  const Rank me = ctx_.rank();
+  const std::int64_t my_epoch = barrier_epoch_++;
+  // Dissemination barrier over NIC control packets: in round r, notify
+  // rank (me + 2^r) mod n and wait for the matching token from
+  // (me - 2^r) mod n.  Every rank's state is owner-local and every hop
+  // crosses the wire (>= the engine lookahead), so the barrier is legal
+  // under conservative-parallel execution.  A peer can run at most one
+  // epoch ahead; early tokens sit in barrier_tokens_ until their round.
+  for (int round = 0, dist = 1; dist < n; ++round, dist <<= 1) {
+    sendCtrl((me + dist) % n, CtrlKind::BarrierToken, my_epoch, round, 0.0);
+    const std::pair<std::int64_t, int> key{my_epoch, round};
+    progressUntil([&] { return barrier_tokens_.contains(key); });
+    barrier_tokens_.erase(key);
   }
-  while (b.epoch == my_epoch) {
-    ctx_.sleep();
-    progress();  // drain any stray completions while we sit here
-  }
+  // Stamped at exit: the happens-before join for epoch `my_epoch` sits
+  // after every record this rank produced inside the barrier, including
+  // completions drained while waiting.
   traceSync(trace::RecordKind::Barrier, my_epoch, -1);
 }
 
 double Armci::allreduceSum(double value) {
   if (!barrier_) throw std::logic_error("armci: allreduceSum needs a job");
+  const std::int64_t epoch = reduce_epoch_++;
+  const int n = barrier_->nranks;
+  const Rank me = ctx_.rank();
   barrier();
-  if (ctx_.rank() == 0) barrier_->reduce_slot = 0.0;
+  double result = value;
+  if (n > 1) {
+    CallGuard guard(*this);
+    if (me == 0) {
+      // Gather every peer's addend, then combine in ascending rank order so
+      // the floating-point sum is schedule-independent.
+      progressUntil([&] {
+        for (Rank r = 1; r < n; ++r) {
+          if (!reduce_values_.contains({epoch, r})) return false;
+        }
+        return true;
+      });
+      for (Rank r = 1; r < n; ++r) {
+        const auto it = reduce_values_.find({epoch, r});
+        result += it->second;
+        reduce_values_.erase(it);
+      }
+      for (Rank r = 1; r < n; ++r) {
+        sendCtrl(r, CtrlKind::ReduceResult, epoch, 0, result);
+      }
+    } else {
+      sendCtrl(0, CtrlKind::ReduceValue, epoch, 0, value);
+      progressUntil([&] { return reduce_results_.contains(epoch); });
+      result = reduce_results_.at(epoch);
+      reduce_results_.erase(epoch);
+    }
+  }
+  // Two trailing rounds keep the historical three-barrier cost shape of
+  // ARMCI's message-layer reduction (and the skeleton model relies on it).
   barrier();
-  // Ranks execute strictly one at a time, so the accumulation is safe.
-  barrier_->reduce_slot += value;
   barrier();
-  return barrier_->reduce_slot;
+  return result;
 }
 
 void Armci::sectionBegin(std::string_view name) {
@@ -416,10 +501,10 @@ ArmciMachine::ArmciMachine(ArmciJobConfig cfg) : cfg_(std::move(cfg)) {}
 
 void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
   net::Fabric fabric(engine_, cfg_.fabric, cfg_.nranks);
-  // ARMCI jobs always run sequentially: SharedBarrier and allreduceSum
-  // mutate state shared across ranks directly from rank code, which the
-  // conservative-parallel protocol does not allow.
-  engine_.setWorkers(1);
+  // Collectives keep owner-local state and talk over the NIC, so ARMCI
+  // jobs parallelize like MPI ones; only the fault model (which mutates
+  // remote NIC state synchronously) forces sequential execution.
+  engine_.setWorkers(fabric.faultEnabled() ? 1 : cfg_.workers);
   auto barrier = std::make_shared<SharedBarrier>(cfg_.nranks);
   reports_.assign(
       cfg_.armci.instrument ? static_cast<std::size_t>(cfg_.nranks) : 0,
@@ -435,6 +520,7 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
     tap = std::make_unique<trace::NetTap>(*trace_);
     fabric.setObserver(tap.get());
   }
+  std::mutex reports_mu;
   engine_.run(cfg_.nranks, [&](sim::Context& ctx) {
     Armci armci(ctx, fabric, cfg_.armci, barrier);
     if (trace_) armci.setTraceSink(trace_.get());
@@ -469,7 +555,9 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
     }
     rankMain(armci);
     if (armci.instrumented()) {
-      reports_[static_cast<std::size_t>(ctx.rank())] = armci.finalizeReport();
+      const overlap::Report& r = armci.finalizeReport();
+      std::lock_guard<std::mutex> lock(reports_mu);
+      reports_[static_cast<std::size_t>(ctx.rank())] = r;
     }
     if (trace_) trace_->setEndTime(ctx.rank(), ctx.now());
     if (checker) checker->onFinalize("ARMCI_Finalize");
@@ -477,10 +565,15 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
       verifier->finish(armci.monitor() != nullptr
                            ? armci.monitor()->eventsLogged()
                            : -1);
-      for (const auto& d : verifier->diagnostics()) diagnostics_.push_back(d);
     }
-    if (checker) {
-      for (const auto& d : checker->diagnostics()) diagnostics_.push_back(d);
+    if (verifier || checker) {
+      std::lock_guard<std::mutex> lock(reports_mu);
+      if (verifier) {
+        for (const auto& d : verifier->diagnostics()) diagnostics_.push_back(d);
+      }
+      if (checker) {
+        for (const auto& d : checker->diagnostics()) diagnostics_.push_back(d);
+      }
     }
   });
   fault_totals_ = overlap::FaultStats{};
@@ -490,8 +583,15 @@ void ArmciMachine::run(const std::function<void(Armci&)>& rankMain) {
     }
     fault_totals_.assignFrom(fabric.faultTotals());
   }
-  for (const analysis::Diagnostic& d : diagnostics_) {
-    std::fprintf(stderr, "ovprof-verify: %s\n", d.toString().c_str());
+  if (!diagnostics_.empty()) {
+    std::stable_sort(
+        diagnostics_.begin(), diagnostics_.end(),
+        [](const analysis::Diagnostic& a, const analysis::Diagnostic& b) {
+          return a.rank < b.rank;
+        });
+    for (const analysis::Diagnostic& d : diagnostics_) {
+      std::fprintf(stderr, "ovprof-verify: %s\n", d.toString().c_str());
+    }
   }
 }
 

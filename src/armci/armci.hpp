@@ -16,9 +16,12 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
@@ -51,17 +54,23 @@ struct ArmciConfig {
   bool verify = false;
 };
 
-/// Job-wide barrier state shared by all ranks' Armci instances (stands in
-/// for ARMCI's internal message layer barrier).
+/// Job-wide collective-memory registry shared by all ranks' Armci
+/// instances.  Barrier and reduction state is *not* here: those are
+/// implemented with owner-local state and control packets over the NIC, so
+/// ARMCI jobs can run under the engine's conservative-parallel mode.  The
+/// allocation table is only written between message barriers (rank 0
+/// creates a slot, each rank fills its own disjoint entry), so accesses are
+/// ordered by the barrier protocol itself.
 struct SharedBarrier {
   explicit SharedBarrier(int nranks) : nranks(nranks) {}
   int nranks;
-  int count = 0;
-  std::int64_t epoch = 0;
-  double reduce_slot = 0.0;  // scratch for Armci::allreduceSum
   /// Backing store for collectiveMalloc: allocations[id][rank].
   std::vector<std::vector<std::unique_ptr<std::byte[]>>> allocations;
 };
+
+/// Control-packet vocabulary of the message-layer collectives (barrier
+/// dissemination tokens and reduction value/result traffic).
+enum class CtrlKind : std::uint8_t { BarrierToken, ReduceValue, ReduceResult };
 
 /// Per-rank ARMCI library instance.
 class Armci {
@@ -127,11 +136,15 @@ class Armci {
   /// delivery; fence waits for local completion of all of them).
   void fence(Rank target);
 
-  /// Simple barrier over the one-sided layer (flag-based dissemination).
+  /// Message-layer barrier: log2(n) dissemination rounds of control
+  /// packets over the NIC.  All state is owner-local, so the barrier is
+  /// safe under the engine's conservative-parallel mode.
   void barrier();
 
   /// Global sum over all ranks (stands in for ARMCI's message-layer
-  /// reduction; costs three barrier rounds).
+  /// reduction; costs three barrier rounds).  Values are combined at rank 0
+  /// in ascending rank order, so the floating-point result is deterministic
+  /// and independent of the engine's worker count.
   [[nodiscard]] double allreduceSum(double value);
 
   // ---- instrumentation control ----
@@ -167,6 +180,12 @@ class Armci {
 
   void progress();
   void progressUntil(const std::function<bool()>& pred);
+  /// Posts one control packet to `target`'s receive queue (dedicated
+  /// channel; never stamps XFER events — control traffic is not user data).
+  void sendCtrl(Rank target, CtrlKind kind, std::int64_t epoch, int round,
+                double value);
+  /// Dispatches one received control packet into the local buffers below.
+  void handleCtrl(const net::Packet& pkt);
   NbHandle postContig(bool is_put, const void* src, void* dst, Bytes n,
                       Rank target);
   NbHandle postStrided(bool is_put, const void* src, Bytes src_stride,
@@ -198,6 +217,19 @@ class Armci {
   std::vector<net::Completion> drained_cq_;
 
   std::shared_ptr<SharedBarrier> barrier_;
+
+  // ---- owner-local collective state (replaces shared counters) ----
+  /// Next barrier epoch this rank enters; collective calls keep all ranks'
+  /// counters in lockstep without sharing them.
+  std::int64_t barrier_epoch_ = 0;
+  std::int64_t reduce_epoch_ = 0;
+  /// Dissemination tokens received early, keyed (epoch, round); a peer can
+  /// run at most one barrier epoch ahead, so this stays O(log n).
+  std::set<std::pair<std::int64_t, int>> barrier_tokens_;
+  /// Rank 0 only: gathered addends keyed (reduce epoch, source rank).
+  std::map<std::pair<std::int64_t, Rank>, double> reduce_values_;
+  /// Non-zero ranks: reduction results keyed by reduce epoch.
+  std::map<std::int64_t, double> reduce_results_;
 };
 
 /// Cluster-of-ARMCI-processes job runner, mirroring mpi::Machine.
@@ -206,6 +238,9 @@ struct ArmciJobConfig {
   net::FabricParams fabric;
   ArmciConfig armci;
   trace::CollectorConfig trace;
+  /// Engine worker threads; forced to 1 when the fault model is enabled
+  /// (the reliability protocol mutates remote NIC state synchronously).
+  int workers = 1;
 };
 
 class ArmciMachine {

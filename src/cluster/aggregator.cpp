@@ -1,0 +1,194 @@
+#include "cluster/aggregator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ovp::cluster {
+
+namespace {
+
+constexpr std::string_view kHeader = "ovprof-agg-v1";
+
+bool byJobId(const JobRecord& a, const JobRecord& b) {
+  return a.spec.id < b.spec.id;
+}
+
+}  // namespace
+
+Aggregator::Aggregator(AggregatorConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.shard_jobs < 1) cfg_.shard_jobs = 1;
+}
+
+void Aggregator::jobStarted(const JobSpec& spec, TimeNs start,
+                            const std::vector<int>& nodes) {
+  auto [it, inserted] = open_.try_emplace(spec.id);
+  if (!inserted) {
+    throw std::logic_error("cluster: job " + std::to_string(spec.id) +
+                           " started twice");
+  }
+  it->second.record.spec = spec;
+  it->second.record.start = start;
+  it->second.record.nodes = nodes;
+  peak_open_ = std::max(peak_open_, static_cast<int>(open_.size()));
+}
+
+void Aggregator::addRankReport(std::int64_t job_id,
+                               const overlap::Report& report,
+                               DurationNs link_wait_delta) {
+  auto it = open_.find(job_id);
+  if (it == open_.end()) {
+    throw std::logic_error("cluster: rank report for unknown job " +
+                           std::to_string(job_id));
+  }
+  it->second.acc.add(report);
+  it->second.record.link_wait += link_wait_delta;
+  ++it->second.ranks_reported;
+}
+
+void Aggregator::jobFinished(std::int64_t job_id, TimeNs end,
+                             DurationNs solo_duration,
+                             double solo_max_overlap_pct) {
+  auto it = open_.find(job_id);
+  if (it == open_.end()) {
+    throw std::logic_error("cluster: finish for unknown job " +
+                           std::to_string(job_id));
+  }
+  if (it->second.ranks_reported != it->second.record.spec.nranks) {
+    throw std::logic_error(
+        "cluster: job " + std::to_string(job_id) + " finished with " +
+        std::to_string(it->second.ranks_reported) + " of " +
+        std::to_string(it->second.record.spec.nranks) + " rank reports");
+  }
+  JobRecord rec = std::move(it->second.record);
+  rec.end = end;
+  rec.merged = it->second.acc.take();
+  rec.solo_duration = solo_duration;
+  if (solo_duration > 0) {
+    rec.slowdown = static_cast<double>(rec.duration() - solo_duration) /
+                   static_cast<double>(solo_duration);
+    rec.overlap_delta_pct =
+        rec.merged.whole.total.maxPct() - solo_max_overlap_pct;
+  }
+  const DurationNs xfer = rec.merged.whole.total.data_transfer_time;
+  if (rec.link_wait + xfer > 0) {
+    rec.contention_share = static_cast<double>(rec.link_wait) /
+                           static_cast<double>(rec.link_wait + xfer);
+  }
+  open_.erase(it);
+  buffer_.push_back(std::move(rec));
+  ++finalized_;
+  if (!cfg_.spill_prefix.empty() &&
+      static_cast<int>(buffer_.size()) >= cfg_.shard_jobs) {
+    spillShard();
+  }
+}
+
+void Aggregator::spillShard() {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end(), byJobId);
+  std::string path = cfg_.spill_prefix + ".shard-" +
+                     std::to_string(shard_paths_.size());
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cluster: cannot write shard file: " + path);
+  }
+  for (const JobRecord& rec : buffer_) rec.save(os);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("cluster: short write to shard file: " + path);
+  }
+  shard_paths_.push_back(std::move(path));
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+std::int64_t Aggregator::finalize(std::ostream& os) {
+  if (!open_.empty()) {
+    throw std::logic_error("cluster: finalize with " +
+                           std::to_string(open_.size()) + " jobs still open");
+  }
+  os << kHeader << '\n';
+  std::int64_t written = 0;
+  if (shard_paths_.empty()) {
+    // Small campaign (or no spill prefix): everything is still in memory.
+    std::sort(buffer_.begin(), buffer_.end(), byJobId);
+    for (const JobRecord& rec : buffer_) {
+      rec.save(os);
+      ++written;
+    }
+    buffer_.clear();
+  } else {
+    spillShard();  // retire the partial tail shard
+    // Bounded-memory k-way merge: one open stream and one lookahead record
+    // per shard; job ids are unique, so min-id order is total.
+    struct Cursor {
+      std::ifstream is;
+      JobRecord next;
+      bool live = false;
+    };
+    std::vector<std::unique_ptr<Cursor>> cursors;
+    cursors.reserve(shard_paths_.size());
+    for (const std::string& path : shard_paths_) {
+      auto c = std::make_unique<Cursor>();
+      c->is.open(path);
+      if (!c->is) {
+        throw std::runtime_error("cluster: cannot reopen shard file: " + path);
+      }
+      c->live = c->next.load(c->is);
+      cursors.push_back(std::move(c));
+    }
+    for (;;) {
+      Cursor* best = nullptr;
+      for (auto& c : cursors) {
+        if (c->live && (best == nullptr ||
+                        c->next.spec.id < best->next.spec.id)) {
+          best = c.get();
+        }
+      }
+      if (best == nullptr) break;
+      best->next.save(os);
+      ++written;
+      best->live = best->next.load(best->is);
+    }
+    for (const std::string& path : shard_paths_) {
+      std::remove(path.c_str());
+    }
+    shard_paths_.clear();
+  }
+  os << "agg.end " << written << '\n';
+  if (written != finalized_) {
+    throw std::logic_error("cluster: finalize wrote " +
+                           std::to_string(written) + " records, expected " +
+                           std::to_string(finalized_));
+  }
+  return written;
+}
+
+bool Aggregator::loadAll(std::istream& is, std::vector<JobRecord>& out) {
+  out.clear();
+  std::string word;
+  if (!(is >> word) || word != kHeader) return false;
+  for (;;) {
+    const auto pos = is.tellg();
+    if (!(is >> word)) return false;
+    if (word == "agg.end") {
+      std::int64_t count = 0;
+      return (is >> count) && count == static_cast<std::int64_t>(out.size());
+    }
+    is.clear();
+    is.seekg(pos);
+    JobRecord rec;
+    if (!rec.load(is)) return false;
+    out.push_back(std::move(rec));
+  }
+}
+
+}  // namespace ovp::cluster

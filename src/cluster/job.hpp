@@ -1,0 +1,74 @@
+// Multi-job cluster model: job descriptions and finalized per-job records.
+//
+// A JobSpec is one entry of a workload: a named kernel to run on some
+// number of ranks, arriving at a virtual time with a priority and a
+// user-supplied runtime estimate (the quantity backfill schedulers plan
+// with).  A JobRecord is the aggregation service's finalized output for one
+// completed job: schedule times, the streamed job-wide overlap report, and
+// the interference metrics relating the co-scheduled run to the job's solo
+// baseline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "overlap/report.hpp"
+#include "util/types.hpp"
+
+namespace ovp::cluster {
+
+/// One workload entry.  Ordering of equal-priority jobs is by (arrival,
+/// id); ids must be unique within a workload.
+struct JobSpec {
+  std::int64_t id = 0;
+  std::string kernel;     // body name (see cluster/kernels.hpp)
+  char klass = 'S';       // problem class S|A|B (scales sizes/iterations)
+  int nranks = 1;         // ranks the job needs
+  TimeNs arrival = 0;     // submission time (virtual ns)
+  int priority = 0;       // larger runs first
+  DurationNs estimate = 0;  // user runtime estimate, for backfill planning
+};
+
+/// Finalized per-job aggregate, produced by cluster::Aggregator as each job
+/// finishes and spilled to the versioned on-disk format (ovprof-agg-v1).
+struct JobRecord {
+  JobSpec spec;
+  TimeNs start = 0;  // first rank entered the body
+  TimeNs end = 0;    // last rank left the body
+  /// Nodes the job ran on (ascending).
+  std::vector<int> nodes;
+
+  /// Job-wide overlap report, streamed rank-by-rank (overlap::
+  /// MergeAccumulator), identical to overlap::mergeReports of the per-rank
+  /// reports in rank order.
+  overlap::Report merged;
+
+  /// Total time the job's transfers spent queued behind busy node ports
+  /// (sum of per-rank NIC link-wait deltas over the job's span).
+  DurationNs link_wait = 0;
+
+  // ---- interference metrics (vs. the job's solo baseline) ----
+  /// Duration of the same (kernel, class, nranks) job on an otherwise idle
+  /// fabric; 0 when no baseline was computed.
+  DurationNs solo_duration = 0;
+  /// (duration - solo) / solo; 0 when no baseline.  Non-negative whenever
+  /// co-location can only add queueing (it never removes work).
+  double slowdown = 0.0;
+  /// Fraction of the job's wire activity spent blocked on contended ports:
+  /// link_wait / (link_wait + data_transfer_time); 0 when no transfers.
+  double contention_share = 0.0;
+  /// Co-scheduled max-overlap percentage minus the solo baseline's — how
+  /// much overlap capability co-location cost (negative when degraded).
+  double overlap_delta_pct = 0.0;
+
+  [[nodiscard]] DurationNs duration() const { return end - start; }
+
+  /// Lossless text serialization (one record of an ovprof-agg-v1 stream).
+  void save(std::ostream& os) const;
+  /// Parses one record as written by save(); false on malformed input or
+  /// when the stream starts at end-of-file.
+  [[nodiscard]] bool load(std::istream& is);
+};
+
+}  // namespace ovp::cluster

@@ -1,0 +1,148 @@
+#include "cluster/kernels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ovp::cluster {
+
+namespace {
+
+/// Problem-class scale factor: message sizes and compute grow with class,
+/// iteration counts stay modest so large campaigns remain cheap.
+struct ClassScale {
+  Bytes size_mult = 1;
+  DurationNs compute_mult = 1;
+  int iters = 4;
+};
+
+ClassScale scaleOf(char klass) {
+  switch (klass) {
+    case 'A': return {4, 4, 6};
+    case 'B': return {16, 16, 8};
+    default: return {1, 1, 4};  // 'S'
+  }
+}
+
+/// CG pattern: ring exchange of partial vectors + a scalar allreduce per
+/// iteration, with the matrix-vector compute in between (short-message,
+/// latency-bound traffic).
+void bodyCg(mpi::Mpi& mpi, const ClassScale& s) {
+  const int n = mpi.size();
+  const Rank me = mpi.rank();
+  const Bytes chunk = 2048 * s.size_mult;
+  std::vector<std::byte> out(static_cast<std::size_t>(chunk));
+  std::vector<std::byte> in(static_cast<std::size_t>(chunk));
+  for (int it = 0; it < s.iters; ++it) {
+    if (n > 1) {
+      const Rank right = (me + 1) % n;
+      const Rank left = (me + n - 1) % n;
+      mpi.sendrecv(out.data(), chunk, right, 11, in.data(), chunk, left, 11);
+    }
+    mpi.compute(20'000 * s.compute_mult);
+    double dot = 1.0;
+    double gdot = 0.0;
+    mpi.allreduce(&dot, &gdot, 1, mpi::Op::Sum);
+  }
+  mpi.barrier();
+}
+
+/// EP pattern: embarrassingly parallel compute with one small reduction of
+/// the tallies at the end.
+void bodyEp(mpi::Mpi& mpi, const ClassScale& s) {
+  for (int it = 0; it < s.iters; ++it) {
+    mpi.compute(120'000 * s.compute_mult);
+  }
+  double sums[4] = {1, 2, 3, 4};
+  double gsums[4] = {0, 0, 0, 0};
+  mpi.allreduce(sums, gsums, 4, mpi::Op::Sum);
+  mpi.barrier();
+}
+
+/// IS pattern: bucket-sort key exchange — an all-to-all of large payloads
+/// each iteration (bandwidth-bound, the most port-contention-sensitive
+/// body, so co-location shows up clearly in its link-wait counters).  A
+/// rank's total exchange volume is fixed per class (its keys are split
+/// across n buckets), so buffers stay O(volume) per rank and a 64-rank
+/// class-B job costs no more memory than a 2-rank one — what keeps
+/// thousand-job campaign RSS flat.
+void bodyIs(mpi::Mpi& mpi, const ClassScale& s) {
+  const int n = mpi.size();
+  const Bytes volume = 65536 * s.size_mult;  // per-rank total, all buckets
+  const Bytes per_dest = std::max<Bytes>(volume / n, 64);
+  std::vector<std::byte> sbuf(static_cast<std::size_t>(per_dest) *
+                              static_cast<std::size_t>(n));
+  std::vector<std::byte> rbuf(sbuf.size());
+  const int iters = (s.iters + 1) / 2;
+  for (int it = 0; it < iters; ++it) {
+    mpi.compute(30'000 * s.compute_mult);
+    mpi.alltoall(sbuf.data(), rbuf.data(), per_dest);
+  }
+  mpi.barrier();
+}
+
+/// MG pattern: V-cycle ghost exchange with 1-D neighbours at halving sizes
+/// plus one residual allreduce per cycle (non-blocking sends overlapped
+/// with the smoother compute).
+void bodyMg(mpi::Mpi& mpi, const ClassScale& s) {
+  const int n = mpi.size();
+  const Rank me = mpi.rank();
+  constexpr int kLevels = 3;
+  const Bytes face0 = 8192 * s.size_mult;
+  std::vector<std::byte> out(static_cast<std::size_t>(face0));
+  std::vector<std::byte> in(static_cast<std::size_t>(face0));
+  for (int it = 0; it < s.iters; ++it) {
+    for (int level = 0; level < kLevels; ++level) {
+      const Bytes face = face0 >> (2 * level);
+      if (n > 1) {
+        const Rank up = (me + 1) % n;
+        const Rank down = (me + n - 1) % n;
+        mpi::Request reqs[2];
+        reqs[0] = mpi.irecv(in.data(), face, down, 30 + level);
+        reqs[1] = mpi.isend(out.data(), face, up, 30 + level);
+        mpi.compute(15'000 * s.compute_mult);  // smoother overlaps exchange
+        mpi.waitall(reqs, 2);
+      } else {
+        mpi.compute(15'000 * s.compute_mult);
+      }
+    }
+    double res = 1.0;
+    double gres = 0.0;
+    mpi.allreduce(&res, &gres, 1, mpi::Op::Sum);
+  }
+  mpi.barrier();
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& kernelNames() {
+  static const std::vector<std::string_view> names = {"cg", "ep", "is", "mg"};
+  return names;
+}
+
+bool kernelKnown(std::string_view name) {
+  for (std::string_view k : kernelNames()) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+void runKernelBody(mpi::Mpi& mpi, const JobSpec& spec) {
+  const ClassScale s = scaleOf(spec.klass);
+  mpi.sectionBegin(spec.kernel);
+  if (spec.kernel == "cg") {
+    bodyCg(mpi, s);
+  } else if (spec.kernel == "ep") {
+    bodyEp(mpi, s);
+  } else if (spec.kernel == "is") {
+    bodyIs(mpi, s);
+  } else if (spec.kernel == "mg") {
+    bodyMg(mpi, s);
+  } else {
+    throw std::invalid_argument("cluster: unknown kernel '" +
+                                std::string(spec.kernel) + "'");
+  }
+  mpi.sectionEnd();
+}
+
+}  // namespace ovp::cluster

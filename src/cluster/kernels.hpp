@@ -1,0 +1,34 @@
+// Job bodies the cluster runtime can launch: reduced NAS-pattern kernels
+// written directly against mpi::Mpi, so they can run on an arbitrary
+// job-local rank group of a shared fabric (mpi::MpiConfig::group).
+//
+// These are communication skeletons in the same spirit as src/nas/: the
+// computation is modelled as timed compute() blocks and the communication
+// uses the same message sizes/shapes class-for-class, scaled down so that
+// thousand-job campaigns stay cheap.  Every body brackets itself in a
+// monitor section named after the kernel and ends fully quiesced (all
+// requests retired, final barrier), so consecutive jobs on the same engine
+// ranks never see each other's traffic.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "mpi/mpi.hpp"
+
+namespace ovp::cluster {
+
+/// True if `name` names a known kernel body.
+[[nodiscard]] bool kernelKnown(std::string_view name);
+
+/// Names of all registered kernels, in registry order (deterministic).
+[[nodiscard]] const std::vector<std::string_view>& kernelNames();
+
+/// Runs the body of `spec.kernel` on this rank's library instance.  The
+/// instance must have been constructed with the job's rank group; the body
+/// uses mpi.rank()/mpi.size() (job-local) only.  Throws std::invalid_argument
+/// for an unknown kernel name.
+void runKernelBody(mpi::Mpi& mpi, const JobSpec& spec);
+
+}  // namespace ovp::cluster

@@ -1,0 +1,206 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ovp::cluster {
+
+NodePool::NodePool(int nodes, int ranks_per_node, bool exclusive)
+    : rpn_(ranks_per_node < 1 ? 1 : ranks_per_node),
+      exclusive_(exclusive),
+      used_(static_cast<std::size_t>(nodes < 1 ? 1 : nodes), 0),
+      slot_used_(used_.size(),
+                 std::vector<bool>(static_cast<std::size_t>(rpn_), false)) {}
+
+int NodePool::capacityUnits() const {
+  return exclusive_ ? nodes() : nodes() * rpn_;
+}
+
+int NodePool::freeUnits() const {
+  int free = 0;
+  for (std::size_t nd = 0; nd < used_.size(); ++nd) {
+    free += exclusive_ ? (used_[nd] == 0 ? 1 : 0) : (rpn_ - used_[nd]);
+  }
+  return free;
+}
+
+int NodePool::demandUnits(int nranks) const {
+  return exclusive_ ? (nranks + rpn_ - 1) / rpn_ : nranks;
+}
+
+bool NodePool::tryAlloc(int nranks, Alloc& out) {
+  Alloc a;
+  if (exclusive_) {
+    const int need = demandUnits(nranks);
+    for (int nd = 0; nd < nodes() && static_cast<int>(a.nodes.size()) < need;
+         ++nd) {
+      if (used_[static_cast<std::size_t>(nd)] == 0) a.nodes.push_back(nd);
+    }
+    if (static_cast<int>(a.nodes.size()) < need) return false;
+    int left = nranks;
+    for (int nd : a.nodes) {
+      for (int s = 0; s < rpn_ && left > 0; ++s, --left) {
+        slot_used_[static_cast<std::size_t>(nd)][static_cast<std::size_t>(s)] =
+            true;
+        ++used_[static_cast<std::size_t>(nd)];
+        a.ranks.push_back(static_cast<Rank>(nd * rpn_ + s));
+      }
+      // The whole node is reserved even when the tail node is only
+      // partially ranked: mark it fully used so no other job shares it.
+      used_[static_cast<std::size_t>(nd)] = rpn_;
+    }
+  } else {
+    int left = nranks;
+    for (int nd = 0; nd < nodes() && left > 0; ++nd) {
+      for (int s = 0; s < rpn_ && left > 0; ++s) {
+        if (slot_used_[static_cast<std::size_t>(nd)]
+                      [static_cast<std::size_t>(s)]) {
+          continue;
+        }
+        slot_used_[static_cast<std::size_t>(nd)][static_cast<std::size_t>(s)] =
+            true;
+        ++used_[static_cast<std::size_t>(nd)];
+        a.ranks.push_back(static_cast<Rank>(nd * rpn_ + s));
+        if (a.nodes.empty() || a.nodes.back() != nd) a.nodes.push_back(nd);
+        --left;
+      }
+    }
+    if (left > 0) {
+      // Roll back the partial grab.
+      release(a);
+      return false;
+    }
+  }
+  out = std::move(a);
+  return true;
+}
+
+void NodePool::release(const Alloc& a) {
+  for (Rank r : a.ranks) {
+    const int nd = static_cast<int>(r) / rpn_;
+    const int s = static_cast<int>(r) % rpn_;
+    slot_used_[static_cast<std::size_t>(nd)][static_cast<std::size_t>(s)] =
+        false;
+  }
+  if (exclusive_) {
+    for (int nd : a.nodes) used_[static_cast<std::size_t>(nd)] = 0;
+  } else {
+    for (Rank r : a.ranks) --used_[static_cast<std::size_t>(r) /
+                                   static_cast<std::size_t>(rpn_)];
+  }
+}
+
+Scheduler::Scheduler(SchedPolicy policy, int nodes, int ranks_per_node,
+                     bool exclusive_nodes)
+    : policy_(policy), pool_(nodes, ranks_per_node, exclusive_nodes) {}
+
+bool Scheduler::queuedBefore(const JobSpec& a, const JobSpec& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+
+void Scheduler::submit(JobSpec spec) {
+  if (pool_.demandUnits(spec.nranks) > pool_.capacityUnits()) {
+    throw std::invalid_argument(
+        "cluster: job " + std::to_string(spec.id) + " needs " +
+        std::to_string(spec.nranks) + " ranks, more than the machine has");
+  }
+  const auto at = std::upper_bound(queue_.begin(), queue_.end(), spec,
+                                   [](const JobSpec& a, const JobSpec& b) {
+                                     return queuedBefore(a, b);
+                                   });
+  queue_.insert(at, std::move(spec));
+}
+
+void Scheduler::finished(std::int64_t job_id, TimeNs /*now*/) {
+  for (auto it = running_.begin(); it != running_.end(); ++it) {
+    if (it->spec.id != job_id) continue;
+    pool_.release(it->alloc);
+    running_.erase(it);
+    return;
+  }
+  throw std::logic_error("cluster: finished() for job " +
+                         std::to_string(job_id) + " which is not running");
+}
+
+TimeNs Scheduler::shadowTime(int demand, TimeNs now, int* extra) const {
+  int free = pool_.freeUnits();
+  if (free >= demand) {
+    if (extra != nullptr) *extra = free - demand;
+    return now;
+  }
+  // Releases in estimated-end order (ties by job id, deterministic).  A
+  // running job past its estimate may end any moment: plan with `now`.
+  std::vector<std::pair<TimeNs, int>> ends;  // (est end, units released)
+  ends.reserve(running_.size());
+  for (const Running& r : running_) {
+    ends.emplace_back(std::max(r.start + r.spec.estimate, now),
+                      pool_.demandUnits(r.spec.nranks));
+  }
+  std::sort(ends.begin(), ends.end());
+  TimeNs shadow = kTimeNever;
+  for (const auto& [end, units] : ends) {
+    free += units;
+    if (free >= demand) {
+      shadow = end;
+      break;
+    }
+  }
+  if (extra != nullptr) *extra = free - demand;
+  return shadow;
+}
+
+std::vector<Launch> Scheduler::poll(TimeNs now) {
+  std::vector<Launch> launches;
+  // In-order phase: start queue heads while they fit.
+  while (!queue_.empty()) {
+    NodePool::Alloc alloc;
+    if (!pool_.tryAlloc(queue_.front().nranks, alloc)) break;
+    Launch l;
+    l.spec = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    l.time = now;
+    l.alloc = std::move(alloc);
+    running_.push_back({l.spec, now, l.alloc});
+    launches.push_back(std::move(l));
+  }
+  if (queue_.empty() || policy_ != SchedPolicy::Backfill) return launches;
+
+  // EASY backfill around the blocked head: grant it a reservation, then
+  // start later jobs that provably cannot delay it.
+  const JobSpec& head = queue_.front();
+  int extra = 0;
+  const TimeNs shadow = shadowTime(pool_.demandUnits(head.nranks), now, &extra);
+  reservations_.push_back({head.id, now, shadow});
+  for (std::size_t i = 1; i < queue_.size();) {
+    const JobSpec& cand = queue_[i];
+    const int demand = pool_.demandUnits(cand.nranks);
+    const bool fits_before_shadow = now + cand.estimate <= shadow;
+    const bool uses_spare = demand <= extra;
+    if (!fits_before_shadow && !uses_spare) {
+      ++i;
+      continue;
+    }
+    NodePool::Alloc alloc;
+    if (!pool_.tryAlloc(cand.nranks, alloc)) {
+      ++i;
+      continue;
+    }
+    Launch l;
+    l.spec = cand;
+    l.time = now;
+    l.alloc = std::move(alloc);
+    l.backfilled = true;
+    l.head_reservation = shadow;
+    running_.push_back({l.spec, now, l.alloc});
+    launches.push_back(std::move(l));
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    // A candidate running past the shadow consumes the head's spare units.
+    if (!fits_before_shadow) extra -= demand;
+  }
+  return launches;
+}
+
+}  // namespace ovp::cluster

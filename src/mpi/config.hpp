@@ -18,6 +18,9 @@
 // protocol state while the application is inside a library call.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "net/params.hpp"
 #include "overlap/monitor.hpp"
 #include "util/types.hpp"
@@ -95,6 +98,13 @@ struct MpiConfig {
   /// parameters at startup (the paper reads the perf_main table in
   /// MPI_Init).
   overlap::MonitorConfig monitor;
+
+  /// Job-local rank namespace for multi-job cluster runs: group[i] is the
+  /// global engine rank acting as this job's local rank i.  Application
+  /// code, matching, statuses and reports all see local ranks; the mapping
+  /// is applied only where the library crosses into the fabric (NIC posts).
+  /// Null (the default) is the identity namespace of a whole-machine job.
+  std::shared_ptr<const std::vector<Rank>> group;
 };
 
 /// Builds a transfer-time table from the analytic fabric model: the

@@ -91,17 +91,42 @@ struct Mpi::UnexpectedMsg {
 
 Mpi::Mpi(sim::Context& ctx, net::Fabric& fabric, const MpiConfig& cfg)
     : ctx_(ctx), fabric_(fabric), nic_(fabric.nic(ctx.rank())), cfg_(cfg) {
+  if (cfg_.group) {
+    const std::vector<Rank>& g = *cfg_.group;
+    lrank_ = -1;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (g[i] == ctx_.rank()) {
+        lrank_ = static_cast<Rank>(i);
+        break;
+      }
+    }
+    if (lrank_ < 0) {
+      throw std::logic_error("mpi: global rank is not a member of its group");
+    }
+    lsize_ = static_cast<int>(g.size());
+  } else {
+    lrank_ = ctx_.rank();
+    lsize_ = ctx_.worldSize();
+  }
   if (cfg_.instrument) {
     overlap::MonitorConfig mc = cfg_.monitor;
     if (mc.table.empty()) mc.table = analyticTable(fabric_.params());
-    monitor_ = std::make_unique<overlap::Monitor>(std::move(mc), ctx_.rank());
+    monitor_ = std::make_unique<overlap::Monitor>(std::move(mc), lrank_);
   }
+  // A new library instance is a new process image: whatever a previous job
+  // on this engine rank pinned is gone.  Starting cold also keeps cache
+  // hits a function of the job's own buffer reuse, never of whether the
+  // allocator handed this job an address some earlier job had registered —
+  // which differs across engine worker counts and would break the
+  // campaign-level bit-identical guarantee.  Single-job runs construct one
+  // instance per rank on a fresh NIC, so for them this is a no-op.
+  nic_.regCache().clear();
 }
 
 Mpi::~Mpi() = default;
 
-Rank Mpi::rank() const { return ctx_.rank(); }
-int Mpi::size() const { return ctx_.worldSize(); }
+Rank Mpi::rank() const { return lrank_; }
+int Mpi::size() const { return lsize_; }
 TimeNs Mpi::now() const { return ctx_.now(); }
 
 void Mpi::compute(DurationNs d) { ctx_.compute(d); }
@@ -320,8 +345,8 @@ void Mpi::handleRts(const net::Packet& pkt) {
       ack.seq = hdr.seq;
       ack.peer_seq = req->recv_id;
       ack.addr = reinterpret_cast<std::uintptr_t>(rest_ptr);
-      (void)nic_.postSend(hdr.src, makePacket(rank(), wire::kAck, ack,
-                                              nullptr, 0));
+      (void)nic_.postSend(global(hdr.src), makePacket(rank(), wire::kAck, ack,
+                                                      nullptr, 0));
     } else {
       beginRdmaRead(req, hdr);
     }
@@ -347,7 +372,7 @@ void Mpi::beginRdmaRead(const std::shared_ptr<RequestState>& req,
   stampXferBegin(xfer, rts.msg_bytes);
   req->xfer = xfer;
   const net::WorkId wid = nic_.postRdmaRead(
-      rts.src, req->rbuf, reinterpret_cast<const void*>(rts.addr),
+      global(rts.src), req->rbuf, reinterpret_cast<const void*>(rts.addr),
       rts.msg_bytes);
   const std::uint64_t sender_seq = rts.seq;
   const Rank sender = rts.src;
@@ -360,8 +385,8 @@ void Mpi::beginRdmaRead(const std::shared_ptr<RequestState>& req,
     fin.src = rank();
     fin.seq = sender_seq;
     ctx_.advance(fabric_.params().post_overhead);
-    (void)nic_.postSend(sender, makePacket(rank(), wire::kFinToSend, fin,
-                                           nullptr, 0));
+    (void)nic_.postSend(global(sender), makePacket(rank(), wire::kFinToSend,
+                                                   fin, nullptr, 0));
   };
 }
 
@@ -403,9 +428,11 @@ void Mpi::sendFragments(const std::shared_ptr<RequestState>& req,
       fin.peer_seq = ack.peer_seq;
       const Packet fin_pkt =
           makePacket(rank(), wire::kFinToRecv, fin, nullptr, 0);
-      wid = nic_.postRdmaWrite(req->peer, src_ptr, dst_ptr, frag, &fin_pkt);
+      wid = nic_.postRdmaWrite(global(req->peer), src_ptr, dst_ptr, frag,
+                               &fin_pkt);
     } else {
-      wid = nic_.postRdmaWrite(req->peer, src_ptr, dst_ptr, frag, nullptr);
+      wid = nic_.postRdmaWrite(global(req->peer), src_ptr, dst_ptr, frag,
+                               nullptr);
     }
     ++req->frags_outstanding;
     on_completion_[wid] = [this, req, fx] {
@@ -436,8 +463,10 @@ void Mpi::startEagerSend(const std::shared_ptr<RequestState>& req) {
   hdr.msg_bytes = req->size;
   hdr.frag_bytes = req->size;
   hdr.seq = req->seq;
-  const net::WorkId wid = nic_.postSend(
-      req->peer, makePacket(rank(), wire::kEager, hdr, req->sbuf, req->size));
+  const net::WorkId wid =
+      nic_.postSend(global(req->peer),
+                    makePacket(rank(), wire::kEager, hdr, req->sbuf,
+                               req->size));
   on_completion_[wid] = [this, req] { stampXferEnd(req->xfer); };
   req->complete = true;
   req->phase = RequestState::Phase::Done;
@@ -463,7 +492,8 @@ void Mpi::startRendezvousSend(const std::shared_ptr<RequestState>& req,
     ctx_.advance(p.post_overhead);
     stampXferBegin(req->xfer, frag1);
     const net::WorkId wid = nic_.postSend(
-        req->peer, makePacket(rank(), wire::kRts, rts, req->sbuf, frag1));
+        global(req->peer),
+        makePacket(rank(), wire::kRts, rts, req->sbuf, frag1));
     req->phase = RequestState::Phase::AwaitAck;
     const bool whole_message = frag1 >= req->size;
     on_completion_[wid] = [this, req, whole_message] {
@@ -482,7 +512,7 @@ void Mpi::startRendezvousSend(const std::shared_ptr<RequestState>& req,
     ctx_.advance(nic_.regCache().registerRegion(req->sbuf, req->size));
     ctx_.advance(p.post_overhead);
     rts.frag_bytes = 0;
-    (void)nic_.postSend(req->peer,
+    (void)nic_.postSend(global(req->peer),
                         makePacket(rank(), wire::kRts, rts, nullptr, 0));
     req->phase = RequestState::Phase::AwaitAck;
   } else {
@@ -493,7 +523,7 @@ void Mpi::startRendezvousSend(const std::shared_ptr<RequestState>& req,
     ctx_.advance(p.post_overhead);
     stampXferBegin(req->xfer, req->size);
     rts.addr = reinterpret_cast<std::uintptr_t>(req->sbuf);
-    (void)nic_.postSend(req->peer,
+    (void)nic_.postSend(global(req->peer),
                         makePacket(rank(), wire::kRts, rts, nullptr, 0));
     req->phase = RequestState::Phase::AwaitFin;
   }
@@ -559,8 +589,8 @@ void Mpi::matchReceive(const std::shared_ptr<RequestState>& req) {
       ack.seq = u.hdr.seq;
       ack.peer_seq = req->recv_id;
       ack.addr = reinterpret_cast<std::uintptr_t>(rest_ptr);
-      (void)nic_.postSend(u.hdr.src, makePacket(rank(), wire::kAck, ack,
-                                                nullptr, 0));
+      (void)nic_.postSend(global(u.hdr.src),
+                          makePacket(rank(), wire::kAck, ack, nullptr, 0));
     } else {
       beginRdmaRead(req, u.hdr);
     }

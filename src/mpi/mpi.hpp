@@ -210,10 +210,18 @@ class Mpi {
   void notifySendPost(Rank dst, int tag, Bytes bytes);
   void notifyRecvPost(Rank source, int tag, Bytes bytes);
 
+  /// Global engine rank acting as job-local rank `local` (identity without
+  /// a group).  Applied exactly where protocol code targets the fabric.
+  [[nodiscard]] Rank global(Rank local) const {
+    return cfg_.group ? (*cfg_.group)[static_cast<std::size_t>(local)] : local;
+  }
+
   sim::Context& ctx_;
   net::Fabric& fabric_;
   net::Nic& nic_;
   MpiConfig cfg_;
+  Rank lrank_ = 0;  // this process's job-local rank
+  int lsize_ = 0;   // job size (group size, or world size)
   std::unique_ptr<overlap::Monitor> monitor_;
   EventHooks hooks_;
   EventHooks trace_hooks_;

@@ -596,6 +596,7 @@ NasResult runMg(const MgParams& params) {
     cfg.armci.verify = params.verify;
     cfg.armci.monitor.classes = overlap::SizeClasses::shortLong(16 * 1024);
     cfg.trace = params.trace;
+    cfg.workers = params.workers;
     armci::ArmciMachine machine(cfg);
     const bool nonblocking = params.variant == MgVariant::ArmciNonBlocking;
     machine.run([&](armci::Armci& a) {

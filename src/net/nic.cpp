@@ -14,9 +14,11 @@ Nic::Nic(Fabric& fabric, Rank owner)
 
 Nic::TxTimes Nic::reserveTx(Bytes wire_bytes, TimeNs ready) {
   const DurationNs ser = fabric_.params().serialize(wire_bytes);
-  const TimeNs first_out = ready > tx_busy_ ? ready : tx_busy_;
+  Fabric::NodePort& port = fabric_.portOf(owner_);
+  const TimeNs first_out = ready > port.tx_busy ? ready : port.tx_busy;
+  if (first_out > ready) tx_wait_ += first_out - ready;
   const TimeNs last_out = first_out + ser;
-  tx_busy_ = last_out;
+  port.tx_busy = last_out;
   bytes_sent_ += wire_bytes;
   return TxTimes{first_out, last_out};
 }
@@ -26,10 +28,12 @@ void Nic::arrive(DurationNs ser, sim::InlineFn deliver) {
   // first-byte-in time; now() is that instant, so ingress contention is
   // resolved in arrival order, deterministically.
   sim::Engine& eng = fabric_.engine();
+  Fabric::NodePort& port = fabric_.portOf(owner_);
   const TimeNs now = eng.now();
-  const TimeNs first_in = now > rx_busy_ ? now : rx_busy_;
+  const TimeNs first_in = now > port.rx_busy ? now : port.rx_busy;
+  if (first_in > now) rx_wait_ += first_in - now;
   const TimeNs arrival = first_in + ser;
-  rx_busy_ = arrival;
+  port.rx_busy = arrival;
   eng.schedule(arrival, std::move(deliver));
 }
 
@@ -37,11 +41,13 @@ Nic::WireTimes Nic::reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready) {
   const FabricParams& p = fabric_.params();
   const DurationNs ser = p.serialize(wire_bytes);
   const TxTimes t = reserveTx(wire_bytes, ready);
+  Fabric::NodePort& dport = fabric_.portOf(dst.owner_);
   const TimeNs earliest_in = t.first_byte_out + p.wire_latency;
   const TimeNs first_in =
-      earliest_in > dst.rx_busy_ ? earliest_in : dst.rx_busy_;
+      earliest_in > dport.rx_busy ? earliest_in : dport.rx_busy;
+  if (first_in > earliest_in) dst.rx_wait_ += first_in - earliest_in;
   const TimeNs arrival = first_in + ser;
-  dst.rx_busy_ = arrival;
+  dport.rx_busy = arrival;
   return WireTimes{t.last_byte_out, arrival};
 }
 
@@ -484,6 +490,11 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params, int nranks)
       fault_rng_(params_.fault.seed),
       deterministic_drops_left_(params_.fault.deterministic_drops) {
   engine_.setLookahead(params_.lookahead());
+  if (params_.ranks_per_node < 1) params_.ranks_per_node = 1;
+  // Node-aligned partitions keep each node's port pair on one worker.
+  engine_.setPartitionAlign(params_.ranks_per_node);
+  ports_.resize(static_cast<std::size_t>(
+      nranks > 0 ? params_.nodeOf(nranks - 1) + 1 : 0));
   nics_.reserve(static_cast<std::size_t>(nranks));
   for (Rank r = 0; r < nranks; ++r) {
     nics_.push_back(std::unique_ptr<Nic>(new Nic(*this, r)));

@@ -105,6 +105,13 @@ class Nic {
   }
   [[nodiscard]] Bytes bytesSent() const { return bytes_sent_; }
 
+  /// Cumulative time this rank's transfers spent queued behind its node's
+  /// busy egress (tx) / ingress (rx) port — zero on an unloaded fabric.
+  /// The attribution signal behind the cluster layer's fabric-contention
+  /// share: wait accrues on whichever rank's transfer found the port busy.
+  [[nodiscard]] DurationNs linkWaitTx() const { return tx_wait_; }
+  [[nodiscard]] DurationNs linkWaitRx() const { return rx_wait_; }
+
   /// Fault/reliability counters for this NIC (all zero when the fault
   /// model is disabled).  Tx-side events (drops, retransmissions, timeouts,
   /// retry exhaustion) count on the sending NIC; rx-side events (CRC
@@ -187,8 +194,8 @@ class Nic {
   RegistrationCache reg_cache_;
   std::deque<Completion> cq_;
   std::deque<Packet> rq_;
-  TimeNs tx_busy_ = 0;
-  TimeNs rx_busy_ = 0;
+  DurationNs tx_wait_ = 0;
+  DurationNs rx_wait_ = 0;
   WorkId next_work_ = 1;
   std::int64_t next_tx_seq_ = 1;
   std::int64_t packets_delivered_ = 0;
@@ -199,7 +206,12 @@ class Nic {
 };
 
 /// The cluster fabric: one NIC per rank plus the shared timing parameters
-/// and the owning simulation engine.
+/// and the owning simulation engine.  Port (tx/rx serialization) state
+/// lives per *node* — with FabricParams::ranks_per_node == 1 that is
+/// per-rank, bit-identical to the historical model; with more ranks per
+/// node, co-located ranks contend for the node's ports.  Attaching the
+/// fabric exports ranks_per_node as the engine's partition alignment, so a
+/// node's port state is only ever touched from one worker thread.
 class Fabric {
  public:
   Fabric(sim::Engine& engine, FabricParams params, int nranks);
@@ -208,6 +220,13 @@ class Fabric {
   [[nodiscard]] const FabricParams& params() const { return params_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] int size() const { return static_cast<int>(nics_.size()); }
+  [[nodiscard]] int nodes() const { return static_cast<int>(ports_.size()); }
+
+  /// Total link-wait (tx + rx) accrued by rank r's transfers so far.
+  [[nodiscard]] DurationNs linkWait(Rank r) {
+    const Nic& n = nic(r);
+    return n.linkWaitTx() + n.linkWaitRx();
+  }
 
   /// True when the fault model changes any behaviour (NICs then run the
   /// reliability protocol).
@@ -224,6 +243,18 @@ class Fabric {
 
  private:
   friend class Nic;
+
+  /// One node's NIC port pair.  All ranks of a node serialize their wire
+  /// traffic through these; the engine's node-aligned partitions keep each
+  /// pair single-threaded in parallel runs.
+  struct NodePort {
+    TimeNs tx_busy = 0;
+    TimeNs rx_busy = 0;
+  };
+
+  [[nodiscard]] NodePort& portOf(Rank r) {
+    return ports_[static_cast<std::size_t>(params_.nodeOf(r))];
+  }
 
   /// Deterministic fault dice; consumed in engine event order only.
   [[nodiscard]] double drawUniform() { return fault_rng_.uniform(); }
@@ -247,6 +278,7 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<NodePort> ports_;
   WireObserver* observer_ = nullptr;
   bool fault_enabled_ = false;
   util::Rng fault_rng_;

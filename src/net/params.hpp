@@ -44,6 +44,18 @@ struct FabricParams {
   /// Wire size of a zero-payload control packet (headers).
   Bytes header_bytes = 64;
 
+  /// Ranks sharing one node's NIC ports.  1 (the paper's one process per
+  /// node, the default) gives every rank private tx/rx ports and is
+  /// bit-identical to the historical per-rank model; larger values make
+  /// co-located ranks contend for their node's egress/ingress serialization
+  /// slots, which is what multi-job cluster runs measure.
+  int ranks_per_node = 1;
+
+  /// Node hosting rank r under ranks_per_node.
+  [[nodiscard]] int nodeOf(Rank r) const {
+    return static_cast<int>(r) / (ranks_per_node < 1 ? 1 : ranks_per_node);
+  }
+
   /// Fault-injection + NIC reliability model (net/fault.hpp).  Disabled by
   /// default: the fabric is lossless and timing matches the legacy model
   /// bit-for-bit.

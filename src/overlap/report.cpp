@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -252,42 +253,54 @@ void mergeSection(SectionReport& into, const SectionReport& from) {
 
 }  // namespace
 
-Report mergeReports(const std::vector<Report>& reports) {
-  Report merged;
-  merged.rank = -1;
-  if (reports.empty()) return merged;
-  merged.classes = reports.front().classes;
-  merged.whole.name = reports.front().whole.name;
-  for (const Report& r : reports) {
-    merged.monitored_time += r.monitored_time;
-    merged.events_logged += r.events_logged;
-    merged.queue_drains += r.queue_drains;
-    merged.case_same_call += r.case_same_call;
-    merged.case_split_call += r.case_split_call;
-    merged.case_inconclusive += r.case_inconclusive;
-    merged.xfer_below_range += r.xfer_below_range;
-    merged.xfer_above_range += r.xfer_above_range;
-    merged.faults += r.faults;
-    mergeSection(merged.whole, r.whole);
-    for (const SectionReport& s : r.sections) {
-      SectionReport* target = nullptr;
-      for (SectionReport& m : merged.sections) {
-        if (m.name == s.name) {
-          target = &m;
-          break;
-        }
-      }
-      if (target == nullptr) {
-        SectionReport fresh;
-        fresh.name = s.name;
-        fresh.by_class.resize(s.by_class.size());
-        merged.sections.push_back(std::move(fresh));
-        target = &merged.sections.back();
-      }
-      mergeSection(*target, s);
-    }
+void MergeAccumulator::add(const Report& r) {
+  Report& merged = merged_;
+  if (count_ == 0) {
+    merged.classes = r.classes;
+    merged.whole.name = r.whole.name;
   }
-  return merged;
+  ++count_;
+  merged.monitored_time += r.monitored_time;
+  merged.events_logged += r.events_logged;
+  merged.queue_drains += r.queue_drains;
+  merged.case_same_call += r.case_same_call;
+  merged.case_split_call += r.case_split_call;
+  merged.case_inconclusive += r.case_inconclusive;
+  merged.xfer_below_range += r.xfer_below_range;
+  merged.xfer_above_range += r.xfer_above_range;
+  merged.faults += r.faults;
+  mergeSection(merged.whole, r.whole);
+  for (const SectionReport& s : r.sections) {
+    SectionReport* target = nullptr;
+    for (SectionReport& m : merged.sections) {
+      if (m.name == s.name) {
+        target = &m;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      SectionReport fresh;
+      fresh.name = s.name;
+      fresh.by_class.resize(s.by_class.size());
+      merged.sections.push_back(std::move(fresh));
+      target = &merged.sections.back();
+    }
+    mergeSection(*target, s);
+  }
+}
+
+Report MergeAccumulator::take() {
+  Report out = std::move(merged_);
+  merged_ = Report{};
+  merged_.rank = -1;
+  count_ = 0;
+  return out;
+}
+
+Report mergeReports(const std::vector<Report>& reports) {
+  MergeAccumulator acc;
+  for (const Report& r : reports) acc.add(r);
+  return acc.take();
 }
 
 }  // namespace ovp::overlap

@@ -163,4 +163,29 @@ struct Report {
 /// are summed; sections are matched by name (rank is set to -1).
 [[nodiscard]] Report mergeReports(const std::vector<Report>& reports);
 
+/// Streaming equivalent of mergeReports: fold per-process reports in one at
+/// a time and read the merged view at any point, holding only the merged
+/// state (never the inputs).  Feeding the same reports in the same order
+/// yields a Report identical to mergeReports — mergeReports is implemented
+/// on top of this class.  The building block of bounded-memory multi-job
+/// aggregation (cluster::Aggregator), where per-rank reports are folded and
+/// dropped as each rank finishes.
+class MergeAccumulator {
+ public:
+  MergeAccumulator() { merged_.rank = -1; }
+
+  /// Folds one per-process report into the merged view.
+  void add(const Report& r);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] const Report& merged() const { return merged_; }
+
+  /// Moves the merged report out and resets to the empty state.
+  [[nodiscard]] Report take();
+
+ private:
+  Report merged_;
+  std::int64_t count_ = 0;
+};
+
 }  // namespace ovp::overlap

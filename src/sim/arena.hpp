@@ -1,0 +1,128 @@
+// Thread-local event arena: a size-classed freelist for the engine's
+// short-lived heap blocks (InlineFn's large-capture fallback and similar
+// per-event allocations).
+//
+// In parallel mode every worker thread churns through millions of event
+// closures; most fit InlineFn's inline buffer, but the ones that don't used
+// to hit the global allocator once per event, serializing workers on the
+// malloc arena locks.  This pool keeps freed blocks on the *freeing* thread
+// and hands them back to that thread's next allocation of the same size
+// class, so the steady state performs no global-allocator calls at all.
+//
+// Blocks are plain ::operator new storage, so a block allocated on one
+// thread may be freed on another (cross-partition events routinely move
+// closures between workers): it simply joins the freeing thread's pool.
+// Each pool caps its retained blocks per class and releases everything when
+// its thread exits, so arenas never grow past a small bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace ovp::sim {
+
+namespace detail {
+
+class EventArena {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+  ~EventArena() {
+    for (auto& cls : classes_) {
+      while (cls.head != nullptr) {
+        Node* next = cls.head->next;
+        ::operator delete(static_cast<void*>(cls.head));
+        cls.head = next;
+      }
+      cls.count = 0;
+    }
+  }
+
+  void* alloc(std::size_t n) {
+    const int c = classOf(n);
+    if (c < 0) return ::operator new(n);
+    FreeList& cls = classes_[static_cast<std::size_t>(c)];
+    if (cls.head != nullptr) {
+      Node* node = cls.head;
+      cls.head = node->next;
+      --cls.count;
+      ++hits_;
+      return static_cast<void*>(node);
+    }
+    ++misses_;
+    return ::operator new(classBytes(c));
+  }
+
+  void free(void* p, std::size_t n) noexcept {
+    const int c = classOf(n);
+    FreeList* cls =
+        c >= 0 ? &classes_[static_cast<std::size_t>(c)] : nullptr;
+    if (cls == nullptr || cls->count >= kMaxPerClass) {
+      ::operator delete(p);
+      return;
+    }
+    Node* node = static_cast<Node*>(p);
+    node->next = cls->head;
+    cls->head = node;
+    ++cls->count;
+  }
+
+  /// Pool effectiveness counters (diagnostics / tests).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Node {
+    Node* next;
+  };
+  struct FreeList {
+    Node* head = nullptr;
+    std::size_t count = 0;
+  };
+
+  // Classes are powers of two from 16 bytes (>= sizeof(Node)) to 1 KiB;
+  // anything larger goes straight to the global allocator.
+  static constexpr std::size_t kMinClassBytes = 16;
+  static constexpr int kClasses = 7;  // 16 .. 1024
+  static constexpr std::size_t kMaxPerClass = 4096;
+
+  [[nodiscard]] static constexpr std::size_t classBytes(int c) {
+    return kMinClassBytes << static_cast<std::size_t>(c);
+  }
+
+  [[nodiscard]] static int classOf(std::size_t n) {
+    std::size_t bytes = kMinClassBytes;
+    for (int c = 0; c < kClasses; ++c) {
+      if (n <= bytes) return c;
+      bytes <<= 1;
+    }
+    return -1;
+  }
+
+  FreeList classes_[kClasses];
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+inline EventArena& threadArena() {
+  thread_local EventArena arena;
+  return arena;
+}
+
+}  // namespace detail
+
+/// Allocates `n` bytes from the calling thread's event arena.  The returned
+/// block is aligned for any fundamental type; free it with arenaFree(p, n)
+/// from any thread.
+inline void* arenaAlloc(std::size_t n) { return detail::threadArena().alloc(n); }
+
+/// Returns a block obtained from arenaAlloc to the *calling* thread's pool
+/// (or the global allocator when the pool is full).  `n` must be the size
+/// passed to arenaAlloc.
+inline void arenaFree(void* p, std::size_t n) noexcept {
+  detail::threadArena().free(p, n);
+}
+
+}  // namespace ovp::sim

@@ -39,8 +39,11 @@ TimeNs Engine::now() const {
 }
 
 int Engine::effectiveWorkers(int nranks) const {
-  if (workers_requested_ <= 1 || lookahead_ <= 0 || nranks < 2) return 1;
-  return std::min(workers_requested_, nranks);
+  // Partitions are cut on part_align_ boundaries, so the parallelism
+  // available is the number of whole alignment blocks, not raw ranks.
+  const int blocks = (nranks + part_align_ - 1) / part_align_;
+  if (workers_requested_ <= 1 || lookahead_ <= 0 || blocks < 2) return 1;
+  return std::min(workers_requested_, blocks);
 }
 
 void Engine::run(int nranks, const std::function<void(Context&)>& rankMain) {
@@ -59,14 +62,20 @@ void Engine::run(int nranks, const std::function<void(Context&)>& rankMain) {
   parts_.clear();
   ranks_.clear();
   parts_.reserve(static_cast<std::size_t>(nworkers));
-  const int base = nranks / nworkers;
-  const int rem = nranks % nworkers;
+  // Distribute whole alignment blocks (align=1: individual ranks) across
+  // workers as evenly as possible; the final partition absorbs the tail of
+  // a partially-filled last block.
+  const int blocks = (nranks + part_align_ - 1) / part_align_;
+  const int base = blocks / nworkers;
+  const int rem = blocks % nworkers;
   Rank next_lo = 0;
   for (int w = 0; w < nworkers; ++w) {
     auto p = std::make_unique<Partition>();
     p->index = w;
     p->lo = next_lo;
-    p->hi = next_lo + base + (w < rem ? 1 : 0);
+    const int nblocks = base + (w < rem ? 1 : 0);
+    p->hi = std::min<Rank>(nranks, next_lo + static_cast<Rank>(nblocks) *
+                                                 part_align_);
     next_lo = p->hi;
     p->alive = static_cast<int>(p->hi - p->lo);
     p->outbox.resize(static_cast<std::size_t>(nworkers));

@@ -153,6 +153,15 @@ class Engine {
   void setLookahead(DurationNs l) { lookahead_ = l; }
   [[nodiscard]] DurationNs lookahead() const { return lookahead_; }
 
+  /// Partition-boundary alignment, in ranks.  Parallel partitions always
+  /// cover whole blocks of `align` consecutive ranks, so state shared by a
+  /// block (e.g. a multi-rank node's NIC ports, see net::Fabric) is only
+  /// ever touched from one worker thread.  The fabric exports its
+  /// ranks-per-node here when it attaches; 1 (the default) reproduces the
+  /// unaligned partitioning bit-for-bit.
+  void setPartitionAlign(int align) { part_align_ = align < 1 ? 1 : align; }
+  [[nodiscard]] int partitionAlign() const { return part_align_; }
+
   /// Virtual time at which the last run() finished (max over final events).
   [[nodiscard]] TimeNs finishTime() const { return finish_time_; }
 
@@ -233,6 +242,7 @@ class Engine {
 
   int workers_requested_ = 1;
   int workers_used_ = 1;
+  int part_align_ = 1;
   DurationNs lookahead_ = 0;
   TimeNs finish_time_ = 0;
   std::int64_t events_processed_ = 0;

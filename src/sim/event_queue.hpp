@@ -148,7 +148,11 @@ class CalendarQueue {
   /// current event population (average inter-event gap, rounded to a power
   /// of two).  Deterministic: depends only on queue contents.
   void rebuild(std::size_t n) {
-    std::vector<Event> all;
+    // The scratch vector is a member so back-to-back rebuilds (the adaptive
+    // resize oscillating around a population threshold) reuse one
+    // allocation instead of hitting the allocator per rebuild.
+    std::vector<Event>& all = scratch_;
+    all.clear();
     all.reserve(size_);
     for (auto& b : buckets_) {
       for (auto& e : b) all.push_back(std::move(e));
@@ -180,9 +184,11 @@ class CalendarQueue {
       b.insert(pos, std::move(e));
     }
     size_ = count;
+    all.clear();
   }
 
   std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> scratch_;  // rebuild staging, reused across rebuilds
   int shift_ = kInitShift;
   std::size_t size_ = 0;
   TimeNs last_ = 0;  // time floor: no live event is earlier than this

@@ -13,6 +13,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/arena.hpp"
+
 namespace ovp::sim {
 
 class InlineFn {
@@ -35,8 +37,7 @@ class InlineFn {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &inlineOps<Fn>();
     } else {
-      ::new (static_cast<void*>(buf_))
-          std::unique_ptr<Fn>(std::make_unique<Fn>(std::forward<F>(f)));
+      ::new (static_cast<void*>(buf_)) (Fn*)(heapNew<Fn>(std::forward<F>(f)));
       ops_ = &heapOps<Fn>();
     }
   }
@@ -78,17 +79,52 @@ class InlineFn {
     return ops;
   }
 
+  // Heap fallback: buf_ holds a single Fn* into arena (or global) storage.
+  // Routing these blocks through the thread-local event arena (sim/arena.hpp)
+  // keeps the parallel engine's large-capture closures off the global
+  // allocator's locks; over-aligned captures bypass the arena, whose blocks
+  // are only max_align_t-aligned.
+  template <typename Fn>
+  static constexpr bool kArenaEligible =
+      alignof(Fn) <= alignof(std::max_align_t);
+
+  template <typename Fn, typename F>
+  static Fn* heapNew(F&& f) {
+    if constexpr (kArenaEligible<Fn>) {
+      void* mem = arenaAlloc(sizeof(Fn));
+      try {
+        return ::new (mem) Fn(std::forward<F>(f));
+      } catch (...) {
+        arenaFree(mem, sizeof(Fn));
+        throw;
+      }
+    } else {
+      return new Fn(std::forward<F>(f));
+    }
+  }
+
+  template <typename Fn>
+  static void heapDelete(Fn* p) noexcept {
+    if constexpr (kArenaEligible<Fn>) {
+      p->~Fn();
+      arenaFree(static_cast<void*>(p), sizeof(Fn));
+    } else {
+      delete p;
+    }
+  }
+
   template <typename Fn>
   static const Ops& heapOps() {
-    using Box = std::unique_ptr<Fn>;
     static constexpr Ops ops = {
-        [](void* self) { (**std::launder(reinterpret_cast<Box*>(self)))(); },
+        [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
         [](void* dst, void* src) {
-          Box* s = std::launder(reinterpret_cast<Box*>(src));
-          ::new (dst) Box(std::move(*s));
-          s->~Box();
+          Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+          ::new (dst) (Fn*)(*s);
+          *s = nullptr;
         },
-        [](void* self) { std::launder(reinterpret_cast<Box*>(self))->~Box(); }};
+        [](void* self) {
+          heapDelete(*std::launder(reinterpret_cast<Fn**>(self)));
+        }};
     return ops;
   }
 

@@ -11,7 +11,8 @@
 # it would corrupt a characterization result.
 #
 # Required -D variables: NAS_RUN (binary path), WORK_DIR.  Optional:
-# KERNEL (default cg), PROCS (default 9), WORKERS (default 3).
+# KERNEL (default cg), PROCS (default 9), WORKERS (default 3), VARIANT
+# (kernel variant flag value, e.g. armci-nb for the one-sided MG path).
 foreach(var NAS_RUN WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "parallel_equiv.cmake: -D${var}=... is required")
@@ -26,6 +27,10 @@ endif()
 if(NOT DEFINED WORKERS)
   set(WORKERS 3)
 endif()
+set(VARIANT_ARG "")
+if(DEFINED VARIANT)
+  set(VARIANT_ARG "--variant=${VARIANT}")
+endif()
 
 # Each run gets its own directory but identical file names, so the report
 # text (which echoes the trace path) is comparable byte-for-byte.
@@ -33,7 +38,8 @@ file(MAKE_DIRECTORY "${WORK_DIR}/seq" "${WORK_DIR}/par")
 
 function(run_traced workers dir)
   execute_process(COMMAND "${NAS_RUN}" --kernel=${KERNEL} --class=S
-                          --procs=${PROCS} --ovprof-workers=${workers}
+                          --procs=${PROCS} ${VARIANT_ARG}
+                          --ovprof-workers=${workers}
                           --ovprof-trace=trace.json
                   WORKING_DIRECTORY "${WORK_DIR}/${dir}"
                   RESULT_VARIABLE rc

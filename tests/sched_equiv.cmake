@@ -1,0 +1,80 @@
+# Cluster-campaign equivalence gate, run as `cmake -P` from ctest (see
+# tests/CMakeLists).
+#
+# Runs the same synthetic multi-job workload through ovprof_sched twice —
+# once on the sequential engine core and once under the conservative
+# parallel scheduler — and additionally replays the sequential run, then
+# requires all three campaigns byte-identical on every artifact:
+#   * the streamed ovprof-agg-v1 aggregate (per-job merged reports +
+#     interference metrics),
+#   * the per-job JSON summary,
+#   * the launch log (the schedule itself: decision order, times, nodes).
+# The parallel leg also spills shards (--spill), so the bounded-memory
+# k-way-merge path must reproduce the in-memory path bit-for-bit.
+#
+# Required -D variables: OVPROF_SCHED (binary path), WORK_DIR.  Optional:
+# WORKLOAD (default synth:60:5), NODES (default 4), RPN (default 4),
+# WORKERS (default 3), EXTRA_ARGS (;-list appended to every invocation).
+foreach(var OVPROF_SCHED WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sched_equiv.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED WORKLOAD)
+  set(WORKLOAD synth:60:5)
+endif()
+if(NOT DEFINED NODES)
+  set(NODES 4)
+endif()
+if(NOT DEFINED RPN)
+  set(RPN 4)
+endif()
+if(NOT DEFINED WORKERS)
+  set(WORKERS 3)
+endif()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}/seq" "${WORK_DIR}/seq2" "${WORK_DIR}/par")
+
+function(run_campaign workers dir spill)
+  set(spill_arg "")
+  if(spill)
+    set(spill_arg "--spill=shards;--shard-jobs=8")
+  endif()
+  execute_process(COMMAND "${OVPROF_SCHED}" ${WORKLOAD}
+                          --nodes=${NODES} --ranks-per-node=${RPN}
+                          --agg=agg.txt --json=summary.json
+                          --launch-log=launches.txt
+                          --ovprof-workers=${workers}
+                          ${spill_arg} ${EXTRA_ARGS}
+                  WORKING_DIRECTORY "${WORK_DIR}/${dir}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "ovprof_sched --ovprof-workers=${workers} failed (${rc}):\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_campaign(1 seq FALSE)
+run_campaign(1 seq2 FALSE)
+run_campaign(${WORKERS} par TRUE)
+
+foreach(dir seq2 par)
+  foreach(f agg.txt summary.json launches.txt)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                    "${WORK_DIR}/seq/${f}" "${WORK_DIR}/${dir}/${f}"
+                    RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+      message(FATAL_ERROR
+              "campaign diverged: ${dir}/${f} differs from seq/${f} "
+              "(workload=${WORKLOAD} workers=${WORKERS})")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "sched equivalence OK: ${WORKLOAD} nodes=${NODES} rpn=${RPN} "
+               "workers=1x2/${WORKERS} agg+json+launches byte-identical")

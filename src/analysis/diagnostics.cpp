@@ -56,6 +56,14 @@ const char* diagCodeName(DiagCode c) {
     case DiagCode::StaticSerializedWindow: return "STATIC_SERIALIZED_WINDOW";
     case DiagCode::StaticOverlapShortfall: return "STATIC_OVERLAP_SHORTFALL";
     case DiagCode::ConformMismatch: return "CONFORM_MISMATCH";
+    case DiagCode::SymMatchUnproven: return "SYM_MATCH_UNPROVEN";
+    case DiagCode::SymMatchMismatch: return "SYM_MATCH_MISMATCH";
+    case DiagCode::SymUnmatchedSend: return "SYM_UNMATCHED_SEND";
+    case DiagCode::SymUnmatchedRecv: return "SYM_UNMATCHED_RECV";
+    case DiagCode::SymDeadlockCycle: return "SYM_DEADLOCK_CYCLE";
+    case DiagCode::SymDeadlockUnproven: return "SYM_DEADLOCK_UNPROVEN";
+    case DiagCode::SymBarrierDivergence: return "SYM_BARRIER_DIVERGENCE";
+    case DiagCode::SymInstantiateMismatch: return "SYM_INSTANTIATE_MISMATCH";
   }
   return "?";
 }

@@ -70,6 +70,15 @@ enum class DiagCode : std::uint8_t {
   StaticSerializedWindow,  // nonblocking post->wait window holds no compute
   StaticOverlapShortfall,  // window compute shorter than the priced transfer
   ConformMismatch,         // traced edge not admissible in the skeleton
+  // ---- rank-symbolic skeleton analysis (src/skeleton/symbolic) ----
+  SymMatchUnproven,        // send/recv family outside the prover's schemas
+  SymMatchMismatch,        // matched symbolic families disagree on bytes
+  SymUnmatchedSend,        // symbolic send no receive family can match
+  SymUnmatchedRecv,        // symbolic receive no send family can match
+  SymDeadlockCycle,        // blocking cycle provable for a rank-count family
+  SymDeadlockUnproven,     // blocking structure outside the safe fragments
+  SymBarrierDivergence,    // collective guarded by a rank-dependent condition
+  SymInstantiateMismatch,  // instantiate(symbolic,P) != unrolled builder
 };
 
 [[nodiscard]] const char* severityName(Severity s);

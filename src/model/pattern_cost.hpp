@@ -1,0 +1,54 @@
+// Closed-form pattern-cost tables from the rank-symbolic skeleton layer.
+//
+// `ovprof_check --symbolic --emit-costs=FILE` exports per-site message
+// counts, payload bytes, flops and overlap-window flops as closed-form
+// expressions over the job size P (ovprof-symskel-v1).  This module is the
+// model-layer consumer: it loads such a file, screens rank counts against
+// the skeleton's admissibility family, evaluates every site's terms at
+// concrete counts, and renders a deterministic JSON table
+// (`ovprof_model costs FILE --procs=SPEC`).  Where fitter.cpp infers a
+// scaling model from measured samples, these terms are exact by
+// construction — the two meet when predicted and fitted communication
+// volumes are compared across a sweep.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "skeleton/symbolic/cost.hpp"
+
+namespace ovp::model {
+
+/// Loads + strictly parses an ovprof-symskel-v1 file.  False with `error`
+/// set on unreadable files or any format violation.
+[[nodiscard]] bool loadPatternCosts(const std::string& path,
+                                    skel::sym::SymCostReport* out,
+                                    std::string* error);
+
+/// True when `nprocs` satisfies min_procs and the family guard.
+[[nodiscard]] bool patternAdmits(const skel::sym::SymCostReport& report,
+                                 int nprocs);
+
+/// One evaluated rank count: all sites' terms at P = procs.  Inadmissible
+/// counts carry `admissible = false` and no site values.
+struct PatternCostEval {
+  int procs = 0;
+  bool admissible = false;
+  std::vector<skel::sym::SiteCostValues> sites;  // parallel to report.sites
+};
+
+/// Evaluates every site at every count.  False with `error` set when a
+/// term fails to evaluate (malformed expression mentioning unbound vars).
+[[nodiscard]] bool evalPatternCosts(const skel::sym::SymCostReport& report,
+                                    const std::vector<int>& procs,
+                                    std::vector<PatternCostEval>* out,
+                                    std::string* error);
+
+/// Deterministic JSON: the closed-form terms verbatim plus the evaluated
+/// table (window_ns = window_flops * ns_per_flop per site).
+void writePatternCostJson(const skel::sym::SymCostReport& report,
+                          const std::vector<PatternCostEval>& evals,
+                          std::ostream& os);
+
+}  // namespace ovp::model

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "nas/class_tables.hpp"
 #include "nas/fft.hpp"
 #include "skeleton/builder.hpp"
 
@@ -11,9 +12,8 @@ namespace {
 
 using skel::Builder;
 using skel::RankBuilder;
-
-constexpr Bytes kD = 8;   // sizeof(double)
-constexpr Bytes kC = 16;  // sizeof(Complex)
+using tables::kC;
+using tables::kD;
 
 SkeletonBuildResult fail(std::string why) {
   SkeletonBuildResult r;
@@ -33,20 +33,9 @@ SkeletonBuildResult finish(Builder&& b) {
 
 // ---------------------------------------------------------------- CG ----
 
-struct CgSizes {
-  int n, niter, cgit;
-};
-
-CgSizes cgSizes(Class c) {
-  switch (c) {
-    case Class::S: return {1024, 2, 5};
-    case Class::A: return {4096, 3, 8};
-    case Class::B: return {16384, 3, 10};
-  }
-  return {1024, 2, 5};
-}
-
-constexpr int kCgTagSeg = 100;
+using tables::cgSizes;
+using tables::CgSizes;
+using tables::kCgTagSeg;
 
 SkeletonBuildResult buildCg(const SkeletonParams& p) {
   const CgSizes sz = cgSizes(p.cls);
@@ -122,14 +111,7 @@ SkeletonBuildResult buildCg(const SkeletonParams& p) {
 
 // ---------------------------------------------------------------- EP ----
 
-std::int64_t epPairs(Class c) {
-  switch (c) {
-    case Class::S: return 1LL << 16;
-    case Class::A: return 1LL << 19;
-    case Class::B: return 1LL << 21;
-  }
-  return 1LL << 16;
-}
+using tables::epPairs;
 
 SkeletonBuildResult buildEp(const SkeletonParams& p) {
   const std::int64_t pairs =
@@ -154,20 +136,8 @@ SkeletonBuildResult buildEp(const SkeletonParams& p) {
 
 // ---------------------------------------------------------------- IS ----
 
-struct IsSizes {
-  std::int64_t keys;
-  int max_key;
-  int niter;
-};
-
-IsSizes isSizes(Class c) {
-  switch (c) {
-    case Class::S: return {1LL << 15, 1 << 11, 3};
-    case Class::A: return {1LL << 18, 1 << 14, 3};
-    case Class::B: return {1LL << 20, 1 << 16, 3};
-  }
-  return {1LL << 15, 1 << 11, 3};
-}
+using tables::isSizes;
+using tables::IsSizes;
 
 SkeletonBuildResult buildIs(const SkeletonParams& p) {
   const IsSizes sz = isSizes(p.cls);
@@ -204,18 +174,8 @@ SkeletonBuildResult buildIs(const SkeletonParams& p) {
 
 // ---------------------------------------------------------------- FT ----
 
-struct FtSizes {
-  int nx, ny, nz, niter;
-};
-
-FtSizes ftSizes(Class c) {
-  switch (c) {
-    case Class::S: return {32, 32, 32, 2};
-    case Class::A: return {64, 64, 64, 3};
-    case Class::B: return {128, 64, 64, 3};
-  }
-  return {32, 32, 32, 2};
-}
+using tables::ftSizes;
+using tables::FtSizes;
 
 SkeletonBuildResult buildFt(const SkeletonParams& p) {
   const FtSizes sz = ftSizes(p.cls);
@@ -674,21 +634,10 @@ SkeletonBuildResult buildBt(const SkeletonParams& p) {
 
 // ---------------------------------------------------------------- MG ----
 
-struct MgSizes {
-  int n, cycles;
-};
-
-MgSizes mgSizes(Class c) {
-  switch (c) {
-    case Class::S: return {16, 2};
-    case Class::A: return {32, 3};
-    case Class::B: return {64, 3};
-  }
-  return {16, 2};
-}
-
-constexpr int kMgTagExch = 500;  // + level*8 + dir
-constexpr int kMgCoarseSweeps = 4;
+using tables::kMgCoarseSweeps;
+using tables::kMgTagExch;
+using tables::mgSizes;
+using tables::MgSizes;
 
 struct MgLevel {
   int lnx = 0, lny = 0, lnz = 0;

@@ -1,0 +1,44 @@
+// Rank-symbolic skeletons of the NAS kernel reproductions.
+//
+// Each builder emits ONE skel::sym::SymSkeleton template describing every
+// rank at every admissible job size P, where skeletons.cpp unrolls one op
+// list per rank at one concrete P.  The two are tied together by the
+// instantiation gate (tests/symbolic_test.cpp + the sym_equiv_* ctest
+// gates): instantiate(symbolic, P) must equal the unrolled builder's
+// output byte-for-byte at randomized P.  On top of the symbolic form,
+// ovprof_check --symbolic proves per-(src,dst,tag) matching and
+// deadlock-freedom for the whole rank-count family in one run and
+// extracts closed-form per-site cost terms for the model layer.
+//
+// Converted kernels: cg, ep, is, ft, and mg (all three variants).  IS's
+// data-dependent alltoallv keeps kAnyBytes wildcard terms, exactly like
+// the unrolled builder.  LU/SP/BT stay unrolled-only for now (their
+// stage-pipelined sweeps use per-stage Wait, which the symbolic IR's
+// implicit-request model does not cover).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nas/skeletons.hpp"
+#include "skeleton/symbolic/ir.hpp"
+
+namespace ovp::nas {
+
+struct SymSkeletonBuildResult {
+  skel::sym::SymSkeleton skeleton;
+  /// Non-empty on failure (kernel without a symbolic builder, bad variant).
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Builds the symbolic skeleton for `kernel` in {cg,ep,ft,is,mg}.  Uses
+/// the same SkeletonParams as buildNasSkeleton; `nranks` is ignored (the
+/// template covers all P in its family).
+[[nodiscard]] SymSkeletonBuildResult buildNasSymSkeleton(
+    const std::string& kernel, const SkeletonParams& params);
+
+/// Kernels with a symbolic builder, in golden-file order.
+[[nodiscard]] const std::vector<std::string>& nasSymbolicKernels();
+
+}  // namespace ovp::nas

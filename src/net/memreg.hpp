@@ -43,7 +43,7 @@ class RegistrationCache {
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
-    std::size_t operator()(const Key& k) const {
+    [[nodiscard]] std::size_t operator()(const Key& k) const {
       return std::hash<std::uintptr_t>{}(k.ptr) ^
              (std::hash<std::int64_t>{}(k.size) << 1);
     }

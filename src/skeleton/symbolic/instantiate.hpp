@@ -1,0 +1,34 @@
+// Lowering a symbolic skeleton template to the unrolled IR at concrete P.
+//
+// This is the bridge the instantiation gate stands on: for every
+// admissible P, instantiate() must produce byte-for-byte the same
+// Skeleton (via skeletonToString) as the hand-unrolled builder, so the
+// symbolic layer is *validated against* the concrete one rather than
+// trusted alongside it.  Request numbering, compute-cost pricing and
+// zero-cost-drop semantics are inherited from skel::RankBuilder so the
+// two paths cannot drift in those details.
+#pragma once
+
+#include <string>
+
+#include "skeleton/ir.hpp"
+#include "skeleton/symbolic/ir.hpp"
+
+namespace ovp::skel::sym {
+
+/// True when P satisfies min_procs and the family guard.  Returns false
+/// with a non-empty *why on guard-evaluation errors too.
+[[nodiscard]] bool familyAdmits(const SymSkeleton& s, int nprocs,
+                                std::string* why);
+
+struct InstantiateResult {
+  Skeleton skeleton;
+  std::string error;  // non-empty on failure
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Unrolls the template for every rank at job size `nprocs`.  Fails when
+/// P is outside the family or any expression fails to evaluate.
+[[nodiscard]] InstantiateResult instantiate(const SymSkeleton& s, int nprocs);
+
+}  // namespace ovp::skel::sym

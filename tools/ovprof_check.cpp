@@ -18,36 +18,61 @@
 // skeleton's static relation.  This is the gate that keeps the skeleton
 // builders honest against the kernels they model.
 //
+// Two rank-count-parametric modes sit on top:
+//
+//   * --procs accepts a sweep spec ("2,4,8-64:pow2"): each nas: skeleton is
+//     checked at every count and the findings are diffed across counts, so
+//     rank-count-dependent bugs (a tag collision that only appears at
+//     non-power-of-two P, say) surface in one run;
+//   * --symbolic switches to the rank-symbolic prover (src/skeleton/
+//     symbolic): matching and deadlock-freedom are proven for ALL
+//     admissible rank counts at once, closed-form per-site cost terms can
+//     be exported for ovprof_model (--emit-costs), and the symbolic
+//     template is re-validated against the unrolled builder byte-for-byte
+//     at randomized counts (--instantiate-check).
+//
 // Usage:
 //   ovprof_check SKELETON [SKELETON2 ...]
-//                [--class=S|A|B] [--procs=N] [--iterations=N]
+//                [--class=S|A|B] [--procs=SPEC] [--iterations=N]
 //                [--variant=mpi|armci|armci-nb] [--ns-per-flop=X]
 //                [--match=0] [--deadlock=0] [--overlap=0] [--eager=BYTES]
 //                [--xfer-table=FILE] [--conform=TRACE.csv]
 //                [--write-skeleton=FILE] [--ovprof-check-json=FILE]
+//                [--symbolic] [--emit-costs=FILE]
+//                [--instantiate-check=N] [--seed=S]
 //
 // SKELETON is `nas:KERNEL` with KERNEL in {bt,cg,ep,ft,is,lu,mg,sp}, or the
 // path of a skeleton file previously written with --write-skeleton.
+// --procs=SPEC is a single count ("8"), a comma list ("2,4,6"), a range
+// ("8-64" = every count), or a pow2 range ("8-64:pow2"); multi-count specs
+// sweep the check and diff the findings.
 //
 // Exit code: 0 when every skeleton is clean (Notes allowed), 1 when any has
-// findings at Warning or above, 2 on tool errors (unknown kernel, unreadable
-// file, bad flags).  Output is deterministic: the same inputs always produce
-// the same findings in the same order.
+// findings at Warning or above (including a failed symbolic proof or an
+// instantiation mismatch), 2 on tool errors (unknown kernel, unreadable
+// file, bad flags, bad --procs spec).  Output is deterministic: the same
+// inputs always produce the same findings in the same order.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
 #include "nas/skeletons.hpp"
+#include "nas/symbolic.hpp"
 #include "overlap/xfer_table.hpp"
 #include "skeleton/check.hpp"
 #include "skeleton/serialize.hpp"
+#include "skeleton/symbolic/cost.hpp"
+#include "skeleton/symbolic/instantiate.hpp"
+#include "skeleton/symbolic/verify.hpp"
 #include "tool_main.hpp"
 #include "trace/reader.hpp"
 #include "util/flags.hpp"
+#include "util/rng.hpp"
 
 using namespace ovp;
 
@@ -56,12 +81,14 @@ namespace {
 void printUsage() {
   std::printf(
       "usage: ovprof_check SKELETON [SKELETON2 ...]\n"
-      "                    [--class=S|A|B] [--procs=N] [--iterations=N]\n"
+      "                    [--class=S|A|B] [--procs=SPEC] [--iterations=N]\n"
       "                    [--variant=mpi|armci|armci-nb] [--ns-per-flop=X]\n"
       "                    [--match=0] [--deadlock=0] [--overlap=0]\n"
       "                    [--eager=BYTES] [--xfer-table=FILE]\n"
       "                    [--conform=TRACE.csv] [--write-skeleton=FILE]\n"
       "                    [--ovprof-check-json=FILE]\n"
+      "                    [--symbolic] [--emit-costs=FILE]\n"
+      "                    [--instantiate-check=N] [--seed=S]\n"
       "\n"
       "SKELETON is nas:KERNEL (kernel in {bt,cg,ep,ft,is,lu,mg,sp}; built\n"
       "in-process from --class/--procs/--iterations/--variant) or the path\n"
@@ -73,31 +100,56 @@ void printUsage() {
       "a-priori transfer-time table from --xfer-table=FILE.  With\n"
       "--conform=TRACE.csv, additionally verifies that the dynamic trace\n"
       "embeds into the skeleton (every traced edge statically admissible).\n"
-      "Exit code: 0 clean, 1 findings at warning or above, 2 tool error.\n"
+      "\n"
+      "--procs=SPEC sweeps rank counts: a single count (\"8\"), a comma\n"
+      "list (\"2,4,6\"), a dense range (\"8-64\"), or a pow2 range\n"
+      "(\"8-64:pow2\").  Multi-count specs check every count and print a\n"
+      "findings diff across counts (nas: skeletons only).\n"
+      "\n"
+      "--symbolic proves matching and deadlock-freedom for ALL admissible\n"
+      "rank counts at once from the rank-symbolic template (kernels\n"
+      "cg/ep/ft/is/mg).  --emit-costs=FILE exports closed-form per-site\n"
+      "cost terms (ovprof-symskel-v1, read by `ovprof_model costs`);\n"
+      "--instantiate-check=N re-validates the template against the\n"
+      "unrolled builder byte-for-byte at N randomized counts (--seed=S,\n"
+      "or the explicit counts of a multi-count --procs spec).\n"
+      "\n"
+      "Exit code: 0 clean, 1 findings at warning or above (failed proofs\n"
+      "and instantiation mismatches included), 2 tool error (unknown\n"
+      "kernel, unreadable file, bad flags or --procs spec).\n"
       "framework flags (any ovprof binary):\n%s",
       util::ovprofHelpText());
+}
+
+nas::SkeletonParams paramsFromFlags(const util::Flags& flags) {
+  nas::SkeletonParams params;
+  const std::string cls = flags.getString("class", "S");
+  params.cls = cls == "A" ? nas::Class::A
+                          : (cls == "B" ? nas::Class::B : nas::Class::S);
+  params.iterations =
+      static_cast<int>(flags.getInt("iterations", params.iterations));
+  params.variant = flags.getString("variant", "");
+  params.cost.ns_per_flop =
+      flags.getDouble("ns-per-flop", params.cost.ns_per_flop);
+  return params;
 }
 
 /// Resolves one SKELETON argument into a skeleton, or returns false after
 /// printing the reason.
 bool resolveSkeleton(const std::string& input, const util::Flags& flags,
-                     skel::Skeleton& out) {
+                     int nranks, skel::Skeleton& out, std::string* error) {
   if (input.rfind("nas:", 0) == 0) {
-    nas::SkeletonParams params;
-    params.nranks = static_cast<int>(flags.getInt("procs", params.nranks));
-    const std::string cls = flags.getString("class", "S");
-    params.cls = cls == "A" ? nas::Class::A
-                            : (cls == "B" ? nas::Class::B : nas::Class::S);
-    params.iterations =
-        static_cast<int>(flags.getInt("iterations", params.iterations));
-    params.variant = flags.getString("variant", "");
-    params.cost.ns_per_flop =
-        flags.getDouble("ns-per-flop", params.cost.ns_per_flop);
+    nas::SkeletonParams params = paramsFromFlags(flags);
+    if (nranks > 0) params.nranks = nranks;
     nas::SkeletonBuildResult built =
         nas::buildNasSkeleton(input.substr(4), params);
     if (!built.ok()) {
-      std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
-                   built.error.c_str());
+      if (error != nullptr) {
+        *error = built.error;
+      } else {
+        std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
+                     built.error.c_str());
+      }
       return false;
     }
     out = std::move(built.skeleton);
@@ -105,12 +157,234 @@ bool resolveSkeleton(const std::string& input, const util::Flags& flags,
   }
   skel::ParseResult parsed = skel::loadSkeletonFile(input);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
-                 parsed.error.c_str());
+    if (error != nullptr) {
+      *error = parsed.error;
+    } else {
+      std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
+                   parsed.error.c_str());
+    }
     return false;
   }
   out = std::move(parsed.skeleton);
   return true;
+}
+
+/// Admissible rank counts for the instantiate gate: the explicit sweep
+/// list when given, else `want` seeded samples mixing powers of two with
+/// arbitrary counts (same draw as tests/symbolic_test.cpp).
+std::vector<int> instantiateCounts(const skel::sym::SymSkeleton& s,
+                                   const std::vector<int>& sweep, int want,
+                                   std::uint64_t seed) {
+  std::vector<int> out;
+  if (!sweep.empty()) {
+    for (const int p : sweep) {
+      if (skel::sym::familyAdmits(s, p, nullptr)) out.push_back(p);
+    }
+    return out;
+  }
+  util::Rng rng(seed);
+  int guard = 0;
+  while (static_cast<int>(out.size()) < want && guard < 10000) {
+    ++guard;
+    const int p = rng.below(2) == 0
+                      ? (1 << rng.range(0, 7))
+                      : static_cast<int>(rng.range(1, 65));
+    if (!skel::sym::familyAdmits(s, p, nullptr)) continue;
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The --symbolic path for one nas: input.  Returns the process exit code
+/// contribution (0/1), or 2 on tool errors.
+int runSymbolic(const std::string& input, const util::Flags& flags,
+                const std::vector<int>& sweep) {
+  if (input.rfind("nas:", 0) != 0) {
+    std::fprintf(stderr,
+                 "ovprof_check: --symbolic needs nas:KERNEL inputs "
+                 "(got %s)\n",
+                 input.c_str());
+    return 2;
+  }
+  const std::string kernel = input.substr(4);
+  const nas::SkeletonParams params = paramsFromFlags(flags);
+  nas::SymSkeletonBuildResult sym = nas::buildNasSymSkeleton(kernel, params);
+  if (!sym.ok()) {
+    std::fprintf(stderr, "ovprof_check: %s: %s\n", input.c_str(),
+                 sym.error.c_str());
+    return 2;
+  }
+
+  skel::sym::SymVerifyResult verified = skel::sym::verifySymbolic(sym.skeleton);
+
+  // Instantiation gate: byte-identity against the unrolled builder.
+  const int inst_n =
+      static_cast<int>(flags.getInt("instantiate-check", 0));
+  std::vector<int> inst_procs;
+  if (inst_n > 0) {
+    const auto seed =
+        static_cast<std::uint64_t>(flags.getInt("seed", 9001));
+    inst_procs = instantiateCounts(sym.skeleton, sweep, inst_n, seed);
+    for (const int p : inst_procs) {
+      nas::SkeletonParams up = paramsFromFlags(flags);
+      up.nranks = p;
+      const nas::SkeletonBuildResult unrolled =
+          nas::buildNasSkeleton(kernel, up);
+      const skel::sym::InstantiateResult inst =
+          skel::sym::instantiate(sym.skeleton, p);
+      analysis::Diagnostic d;
+      d.code = analysis::DiagCode::SymInstantiateMismatch;
+      d.severity = analysis::Severity::Error;
+      d.site = sym.skeleton.name;
+      if (!unrolled.ok() || !inst.ok()) {
+        d.detail = "P=" + std::to_string(p) + ": " +
+                   (unrolled.ok() ? inst.error : unrolled.error);
+        verified.diagnostics.push_back(std::move(d));
+      } else if (skel::skeletonToString(inst.skeleton) !=
+                 skel::skeletonToString(unrolled.skeleton)) {
+        d.detail = "instantiate(symbolic, " + std::to_string(p) +
+                   ") differs from the unrolled builder";
+        verified.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+
+  std::printf("symbolic skeleton %s (%lld nodes)\n",
+              sym.skeleton.name.c_str(),
+              static_cast<long long>(sym.skeleton.totalNodes()));
+  skel::sym::printSymVerifyText(verified, std::cout);
+  if (inst_n > 0) {
+    std::printf("instantiate gate: %zu count(s) checked:",
+                inst_procs.size());
+    for (const int p : inst_procs) std::printf(" %d", p);
+    std::printf("\n");
+  }
+
+  const std::string costs_path = flags.getString("emit-costs", "");
+  if (!costs_path.empty()) {
+    const skel::sym::SymCostReport costs =
+        skel::sym::extractCosts(sym.skeleton);
+    const std::string text = skel::sym::costsToString(costs);
+    if (costs_path == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::ofstream os(costs_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "ovprof_check: failed to write %s\n",
+                     costs_path.c_str());
+        return 2;
+      }
+      os << text;
+      std::printf("cost terms: %zu site(s) -> %s\n", costs.sites.size(),
+                  costs_path.c_str());
+    }
+  }
+
+  const std::string json_path = util::checkJsonPathRequested(flags);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "ovprof_check: failed to write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    analysis::writeDiagnosticsJson(verified.diagnostics, os);
+  }
+  return analysis::exitCode(verified.diagnostics);
+}
+
+/// Dedup key for the sweep diff: rank counts vary, so findings collapse on
+/// (code, site) and the diff reports which counts exhibit each key.
+std::string sweepKey(const analysis::Diagnostic& d) {
+  std::string key = analysis::severityName(d.severity);
+  key += "[";
+  key += analysis::diagCodeName(d.code);
+  key += "]";
+  if (!d.site.empty()) {
+    key += " at ";
+    key += d.site;
+  }
+  return key;
+}
+
+/// Checks one nas: input at every count in `sweep`, printing a per-count
+/// summary and a findings diff.  Returns 0/1 (2 on tool errors).
+int runSweep(const std::string& input, const util::Flags& flags,
+             const skel::CheckConfig& cfg, const std::vector<int>& sweep) {
+  if (input.rfind("nas:", 0) != 0) {
+    std::fprintf(stderr,
+                 "ovprof_check: a multi-count --procs sweep needs "
+                 "nas:KERNEL inputs (got %s)\n",
+                 input.c_str());
+    return 2;
+  }
+  int exit_code = 0;
+  std::vector<int> checked;
+  // key -> per-count finding multiplicity, insertion-ordered.
+  std::vector<std::string> key_order;
+  std::map<std::string, std::map<int, std::int64_t>> by_key;
+  for (const int nprocs : sweep) {
+    skel::Skeleton skeleton;
+    std::string error;
+    if (!resolveSkeleton(input, flags, nprocs, skeleton, &error)) {
+      std::printf("== %s @ P=%d == skipped: %s\n", input.c_str(), nprocs,
+                  error.c_str());
+      continue;
+    }
+    checked.push_back(nprocs);
+    const skel::CheckResult result = skel::runCheck(skeleton, cfg);
+    std::int64_t errors = 0;
+    std::int64_t warnings = 0;
+    std::int64_t notes = 0;
+    for (const auto& d : result.diagnostics) {
+      switch (d.severity) {
+        case analysis::Severity::Error: errors += d.count; break;
+        case analysis::Severity::Warning: warnings += d.count; break;
+        case analysis::Severity::Note: notes += d.count; break;
+      }
+      const std::string key = sweepKey(d);
+      if (by_key.find(key) == by_key.end()) key_order.push_back(key);
+      by_key[key][nprocs] += d.count;
+    }
+    std::printf("== %s @ P=%d == %lld error(s), %lld warning(s), "
+                "%lld note(s)\n",
+                input.c_str(), nprocs, static_cast<long long>(errors),
+                static_cast<long long>(warnings),
+                static_cast<long long>(notes));
+    exit_code = std::max(exit_code, result.exitCode());
+  }
+  if (checked.empty()) {
+    std::fprintf(stderr,
+                 "ovprof_check: %s: no count in the --procs spec was "
+                 "buildable\n",
+                 input.c_str());
+    return 2;
+  }
+  std::printf("-- findings across %zu count(s) --\n", checked.size());
+  if (key_order.empty()) {
+    std::printf("(none)\n");
+    return exit_code;
+  }
+  for (const std::string& key : key_order) {
+    const auto& per_count = by_key[key];
+    std::printf("%s:", key.c_str());
+    for (const int p : checked) {
+      const auto it = per_count.find(p);
+      if (it != per_count.end()) {
+        std::printf(" P=%d(x%lld)", p, static_cast<long long>(it->second));
+      }
+    }
+    if (per_count.size() != checked.size()) {
+      std::printf("  [absent at");
+      for (const int p : checked) {
+        if (per_count.find(p) == per_count.end()) std::printf(" P=%d", p);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
+  return exit_code;
 }
 
 }  // namespace
@@ -125,6 +399,35 @@ int main(int argc, char** argv) {
   }
   const util::Flags& flags = cl.flags;
   const std::vector<std::string>& inputs = cl.positional;
+
+  std::vector<int> sweep;
+  {
+    std::string error;
+    if (!tool::parseProcsSpec(flags.getString("procs", ""), sweep,
+                              error)) {
+      std::fprintf(stderr, "ovprof_check: --procs: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  if (flags.getBool("symbolic", false)) {
+    const std::string json_path = util::checkJsonPathRequested(flags);
+    const std::string costs_path = flags.getString("emit-costs", "");
+    if (inputs.size() > 1 && (!json_path.empty() || !costs_path.empty())) {
+      std::fprintf(stderr,
+                   "ovprof_check: --emit-costs/--ovprof-check-json accept "
+                   "exactly one SKELETON\n");
+      return 2;
+    }
+    int exit_code = 0;
+    for (const std::string& input : inputs) {
+      if (inputs.size() > 1) std::printf("== %s ==\n", input.c_str());
+      const int rc = runSymbolic(input, flags, sweep);
+      if (rc == 2) return 2;
+      exit_code = std::max(exit_code, rc);
+    }
+    return exit_code;
+  }
 
   skel::CheckConfig cfg;
   cfg.match = flags.getBool("match", true);
@@ -151,6 +454,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (sweep.size() > 1) {
+    if (!json_path.empty() || !conform_path.empty() || !write_path.empty()) {
+      std::fprintf(stderr,
+                   "ovprof_check: --conform/--write-skeleton/"
+                   "--ovprof-check-json need a single --procs count\n");
+      return 2;
+    }
+    int exit_code = 0;
+    for (const std::string& input : inputs) {
+      const int rc = runSweep(input, flags, cfg, sweep);
+      if (rc == 2) return 2;
+      exit_code = std::max(exit_code, rc);
+    }
+    return exit_code;
+  }
+
   trace::ReadResult loaded;
   if (!conform_path.empty()) {
     loaded = trace::readCsvFile(conform_path);
@@ -161,10 +480,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const int nranks = sweep.empty() ? 0 : sweep.front();
   int exit_code = 0;
   for (const std::string& input : inputs) {
     skel::Skeleton skeleton;
-    if (!resolveSkeleton(input, flags, skeleton)) return 2;
+    if (!resolveSkeleton(input, flags, nranks, skeleton, nullptr)) return 2;
     if (!write_path.empty() &&
         !skel::saveSkeletonFile(skeleton, write_path)) {
       std::fprintf(stderr, "ovprof_check: failed to write %s\n",

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "model/model_set.hpp"
+#include "model/pattern_cost.hpp"
 #include "model/predict.hpp"
 #include "model/sample.hpp"
 #include "tool_main.hpp"
@@ -53,6 +54,7 @@ void printUsage() {
       "       ovprof_model whatif TRACE.csv [--xfer-scale=S]\n"
       "                    [--bandwidth-scale=B] [--latency-delta=NS]\n"
       "                    [--window=NS] [--out=FILE]\n"
+      "       ovprof_model costs SYMSKEL [--procs=SPEC] [--out=FILE]\n"
       "\n"
       "Fits Extra-P-style performance models (c + a*n^i*log2(n)^j) across a\n"
       "sweep of model samples (written by --ovprof-model=FILE runs), predicts\n"
@@ -60,6 +62,13 @@ void printUsage() {
       "bands, gates predictions against a held-out run, and replays a\n"
       "recorded trace under scaled latency/bandwidth for what-if overlap\n"
       "bounds.  All output is deterministic JSON.\n"
+      "\n"
+      "costs loads a closed-form pattern-cost table exported by\n"
+      "`ovprof_check --symbolic --emit-costs=FILE` (ovprof-symskel-v1) and\n"
+      "evaluates every site's message/byte/flop/window terms at the rank\n"
+      "counts of --procs=SPEC (\"8\", \"2,4,6\", \"8-64:pow2\"; default\n"
+      "1-64:pow2), screening counts against the skeleton's admissibility\n"
+      "family.\n"
       "Exit code: 0 success, 1 eval gate miss, 2 tool error.\n"
       "framework flags (any ovprof binary):\n%s",
       util::ovprofHelpText());
@@ -240,6 +249,38 @@ int cmdWhatIf(const std::vector<std::string>& inputs,
   return 0;
 }
 
+int cmdCosts(const std::vector<std::string>& inputs,
+             const util::Flags& flags) {
+  if (inputs.size() != 1) {
+    std::fprintf(stderr, "ovprof_model costs: exactly one SYMSKEL input\n");
+    return 2;
+  }
+  skel::sym::SymCostReport report;
+  std::string error;
+  if (!model::loadPatternCosts(inputs.front(), &report, &error)) {
+    std::fprintf(stderr, "ovprof_model: %s: %s\n", inputs.front().c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::vector<int> procs;
+  if (!tool::parseProcsSpec(flags.getString("procs", "1-64:pow2"), procs,
+                            error)) {
+    std::fprintf(stderr, "ovprof_model costs: --procs: %s\n", error.c_str());
+    return 2;
+  }
+  std::vector<model::PatternCostEval> evals;
+  if (!model::evalPatternCosts(report, procs, &evals, &error)) {
+    std::fprintf(stderr, "ovprof_model: %s: %s\n", inputs.front().c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::ofstream file;
+  std::ostream* os = openOut(flags, file);
+  if (os == nullptr) return 2;
+  model::writePatternCostJson(report, evals, *os);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -258,6 +299,7 @@ int main(int argc, char** argv) {
   if (subcommand == "predict") return cmdPredict(inputs, flags);
   if (subcommand == "eval") return cmdEval(inputs, flags);
   if (subcommand == "whatif") return cmdWhatIf(inputs, flags);
+  if (subcommand == "costs") return cmdCosts(inputs, flags);
   std::fprintf(stderr, "ovprof_model: unknown subcommand: %s\n",
                subcommand.c_str());
   return 2;

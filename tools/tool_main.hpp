@@ -48,6 +48,82 @@ struct CommandLine {
   return cl;
 }
 
+/// Parses a rank-count sweep spec: INT | A-B | A-B:pow2, comma-joined
+/// ("8", "2,4,6", "8-64:pow2").  Counts are deduplicated, first-appearance
+/// order kept.  An empty spec parses to an empty list (tool default).
+[[nodiscard]] inline bool parseProcsSpec(const std::string& spec,
+                                         std::vector<int>& out,
+                                         std::string& error) {
+  out.clear();
+  if (spec.empty()) return true;
+  const auto parse_int = [](const std::string& s, int& v) {
+    if (s.empty()) return false;
+    v = 0;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+      if (v > 100000000) return false;
+      v = v * 10 + (c - '0');
+    }
+    return v >= 1;
+  };
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    const std::size_t dash = item.find('-');
+    if (dash == std::string::npos) {
+      int v = 0;
+      if (!parse_int(item, v)) {
+        error = "bad count '" + item + "'";
+        return false;
+      }
+      out.push_back(v);
+      continue;
+    }
+    std::string range = item;
+    bool pow2_only = false;
+    const std::size_t colon = range.find(':');
+    if (colon != std::string::npos) {
+      const std::string qual = range.substr(colon + 1);
+      if (qual != "pow2") {
+        error = "unknown qualifier ':" + qual + "' (only :pow2)";
+        return false;
+      }
+      pow2_only = true;
+      range = range.substr(0, colon);
+    }
+    int lo = 0;
+    int hi = 0;
+    if (!parse_int(range.substr(0, dash), lo) ||
+        !parse_int(range.substr(dash + 1), hi) || lo > hi) {
+      error = "bad range '" + item + "'";
+      return false;
+    }
+    if (!pow2_only && hi - lo > 4096) {
+      error = "range '" + item + "' too wide (max 4096 counts)";
+      return false;
+    }
+    for (int v = lo; v <= hi; ++v) {
+      if (pow2_only && (v & (v - 1)) != 0) continue;
+      out.push_back(v);
+    }
+  }
+  std::vector<int> uniq;
+  for (const int v : out) {
+    bool seen = false;
+    for (const int u : uniq) seen = seen || u == v;
+    if (!seen) uniq.push_back(v);
+  }
+  out = std::move(uniq);
+  if (out.empty()) {
+    error = "spec '" + spec + "' selects no counts";
+    return false;
+  }
+  return true;
+}
+
 /// Resolves an output stream: `path` empty -> stdout, else `file` opened at
 /// `path` (binary, so output bytes are deterministic across platforms).
 /// Returns nullptr after printing an error when the file cannot be opened.

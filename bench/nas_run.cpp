@@ -105,6 +105,14 @@ int main(int argc, char** argv) {
     }
     std::printf("fault model: %s\n", params.fabric.fault.describe().c_str());
   }
+  const std::string vci_spec = util::vciSpecRequested(flags);
+  if (!vci_spec.empty()) {
+    if (!net::VciParams::parse(vci_spec, params.fabric.vci)) {
+      std::fprintf(stderr, "bad --ovprof-vci spec: %s\n", vci_spec.c_str());
+      return 2;
+    }
+  }
+  params.fabric.vci.rails = util::vciRailsRequested(flags);
   const std::string trace_path = util::traceSpecRequested(flags);
   const DurationNs trace_window =
       flags.getInt("ovprof-trace-window", 1'000'000);

@@ -44,8 +44,11 @@ struct JobRecord {
   /// reports in rank order.
   overlap::Report merged;
 
-  /// Total time the job's transfers spent queued behind busy node ports
-  /// (sum of per-rank NIC link-wait deltas over the job's span).
+  /// Total time the job's transfers spent queued behind *other* traffic on
+  /// the arbitrated fabric rails (sum of per-rank NIC contended tx + rx
+  /// wait deltas over the job's span).  Self-serialization — a rank's own
+  /// back-to-back transfers, or two channels of the same source meeting on
+  /// one rail — is gap, not contention, and is excluded here.
   DurationNs link_wait = 0;
 
   // ---- interference metrics (vs. the job's solo baseline) ----
@@ -55,7 +58,8 @@ struct JobRecord {
   /// (duration - solo) / solo; 0 when no baseline.  Non-negative whenever
   /// co-location can only add queueing (it never removes work).
   double slowdown = 0.0;
-  /// Fraction of the job's wire activity spent blocked on contended ports:
+  /// Fraction of the job's wire activity spent blocked behind other jobs'
+  /// (or other ranks') traffic on shared rails:
   /// link_wait / (link_wait + data_transfer_time); 0 when no transfers.
   double contention_share = 0.0;
   /// Co-scheduled max-overlap percentage minus the solo baseline's — how

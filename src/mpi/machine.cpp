@@ -22,6 +22,36 @@ overlap::XferTimeTable analyticTable(const net::FabricParams& params) {
 
 Machine::Machine(JobConfig cfg) : cfg_(std::move(cfg)) {}
 
+namespace {
+
+/// Copies one NIC's per-(channel, size-class) wire counters into the report
+/// form, deriving the LogGP o_send / o_recv estimates from the fabric's
+/// host-side post/poll costs (the NIC itself never spends host time).
+overlap::VciStats vciStatsFor(const net::Nic& nic,
+                              const net::FabricParams& p) {
+  overlap::VciStats out;
+  out.channels = p.vci.channels;
+  out.class_bounds.assign(p.vci.class_bounds.begin(),
+                          p.vci.class_bounds.end());
+  const std::vector<net::Nic::VciCounters>& counters = nic.vciCounters();
+  out.rows.resize(counters.size());
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    const net::Nic::VciCounters& c = counters[i];
+    overlap::VciChannelClass& row = out.rows[i];
+    row.posts = c.posts;
+    row.deliveries = c.deliveries;
+    row.bytes = c.bytes;
+    row.o_send = c.posts * p.post_overhead;
+    row.o_recv = c.deliveries * p.cq_poll_cost;
+    row.gap = c.gap;
+    row.link_wait = c.link_wait;
+    row.incast_wait = c.incast_wait;
+  }
+  return out;
+}
+
+}  // namespace
+
 bool Machine::writeReports(const std::string& prefix) const {
   return overlap::ReportIo::saveAll(reports_, prefix);
 }
@@ -158,6 +188,11 @@ void Machine::run(const std::function<void(Mpi&)>& rankMain) {
       r.faults.assignFrom(fabric.nic(r.rank).faultCounters());
     }
     fault_totals_.assignFrom(fabric.faultTotals());
+  }
+  if (cfg_.fabric.vci.enabled()) {
+    for (overlap::Report& r : reports_) {
+      r.vci = vciStatsFor(fabric.nic(r.rank), cfg_.fabric);
+    }
   }
   if (!diagnostics_.empty()) {
     std::stable_sort(diagnostics_.begin(), diagnostics_.end(),

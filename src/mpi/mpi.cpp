@@ -371,9 +371,11 @@ void Mpi::beginRdmaRead(const std::shared_ptr<RequestState>& req,
   TransferId xfer = kInvalidTransfer;
   stampXferBegin(xfer, rts.msg_bytes);
   req->xfer = xfer;
+  // Pin the message stream's (peer, tag) channel so the data leg cannot be
+  // reordered against other streams on a multi-rail fabric.
   const net::WorkId wid = nic_.postRdmaRead(
       global(rts.src), req->rbuf, reinterpret_cast<const void*>(rts.addr),
-      rts.msg_bytes);
+      rts.msg_bytes, nic_.vciFor(global(rts.src), rts.tag));
   const std::uint64_t sender_seq = rts.seq;
   const Rank sender = rts.src;
   on_completion_[wid] = [this, req, sender, sender_seq] {
@@ -403,6 +405,8 @@ void Mpi::sendFragments(const std::shared_ptr<RequestState>& req,
   // Whole-message write rendezvous is the degenerate single-fragment case.
   const bool pipelined =
       rendezvousStyle(cfg_.preset) == RendezvousStyle::PipelinedWrite;
+  // All fragments of one message ride one channel (same-stream ordering).
+  const int vci = nic_.vciFor(global(req->peer), req->tag);
   while (offset < req->size) {
     const Bytes frag =
         pipelined ? std::min(cfg_.frag_size, req->size - offset)
@@ -429,10 +433,10 @@ void Mpi::sendFragments(const std::shared_ptr<RequestState>& req,
       const Packet fin_pkt =
           makePacket(rank(), wire::kFinToRecv, fin, nullptr, 0);
       wid = nic_.postRdmaWrite(global(req->peer), src_ptr, dst_ptr, frag,
-                               &fin_pkt);
+                               &fin_pkt, vci);
     } else {
       wid = nic_.postRdmaWrite(global(req->peer), src_ptr, dst_ptr, frag,
-                               nullptr);
+                               nullptr, vci);
     }
     ++req->frags_outstanding;
     on_completion_[wid] = [this, req, fx] {
@@ -466,7 +470,8 @@ void Mpi::startEagerSend(const std::shared_ptr<RequestState>& req) {
   const net::WorkId wid =
       nic_.postSend(global(req->peer),
                     makePacket(rank(), wire::kEager, hdr, req->sbuf,
-                               req->size));
+                               req->size),
+                    nic_.vciFor(global(req->peer), req->tag));
   on_completion_[wid] = [this, req] { stampXferEnd(req->xfer); };
   req->complete = true;
   req->phase = RequestState::Phase::Done;
@@ -493,7 +498,8 @@ void Mpi::startRendezvousSend(const std::shared_ptr<RequestState>& req,
     stampXferBegin(req->xfer, frag1);
     const net::WorkId wid = nic_.postSend(
         global(req->peer),
-        makePacket(rank(), wire::kRts, rts, req->sbuf, frag1));
+        makePacket(rank(), wire::kRts, rts, req->sbuf, frag1),
+        nic_.vciFor(global(req->peer), req->tag));
     req->phase = RequestState::Phase::AwaitAck;
     const bool whole_message = frag1 >= req->size;
     on_completion_[wid] = [this, req, whole_message] {

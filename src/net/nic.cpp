@@ -10,55 +10,155 @@ namespace ovp::net {
 Nic::Nic(Fabric& fabric, Rank owner)
     : fabric_(fabric),
       owner_(owner),
-      reg_cache_(fabric.params(), /*capacity_entries=*/1024) {}
+      reg_cache_(fabric.params(), /*capacity_entries=*/1024) {
+  const VciParams& v = fabric_.params().vci;
+  const std::size_t channels = static_cast<std::size_t>(v.channelCount());
+  cq_.resize(channels);
+  rq_.resize(channels);
+  chan_busy_.assign(channels, 0);
+  if (v.enabled()) {
+    vci_stats_.resize(channels * static_cast<std::size_t>(v.nclasses()));
+  }
+}
 
-Nic::TxTimes Nic::reserveTx(Bytes wire_bytes, TimeNs ready) {
+int Nic::vciFor(Rank dst, int tag) {
+  const VciParams& v = fabric_.params().vci;
+  if (!v.enabled()) return 0;
+  const int n = v.channels;
+  switch (v.policy) {
+    case VciPolicy::RoundRobin: {
+      const int c = rr_next_;
+      rr_next_ = (rr_next_ + 1) % n;
+      return c;
+    }
+    case VciPolicy::PerPeer:
+      return static_cast<int>(dst) % n;
+    case VciPolicy::Explicit:
+      return 0;
+    case VciPolicy::TagHash:
+      break;
+  }
+  // Deterministic (dst, tag) mix; tag < 0 (untagged control) hashes the
+  // destination alone so a peer's control stream stays on one channel.
+  std::uint64_t h =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) *
+      0x9E3779B97F4A7C15ULL;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag + 1)) +
+        0x9E3779B9ULL) *
+       0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 33;
+  return static_cast<int>(h % static_cast<std::uint64_t>(n));
+}
+
+int Nic::resolveVci(Rank dst, int requested) {
+  const VciParams& v = fabric_.params().vci;
+  if (!v.enabled()) return 0;
+  if (requested >= 0) return requested % v.channels;
+  return vciFor(dst, -1);
+}
+
+Nic::VciCounters* Nic::vciSlot(int vci, Bytes wire_bytes) {
+  if (vci_stats_.empty()) return nullptr;
+  const VciParams& v = fabric_.params().vci;
+  return &vci_stats_[static_cast<std::size_t>(vci) *
+                         static_cast<std::size_t>(v.nclasses()) +
+                     static_cast<std::size_t>(v.classOf(wire_bytes))];
+}
+
+Nic::TxTimes Nic::reserveTx(Bytes wire_bytes, TimeNs ready, int vci) {
   const DurationNs ser = fabric_.params().serialize(wire_bytes);
-  Fabric::NodePort& port = fabric_.portOf(owner_);
-  const TimeNs first_out = ready > port.tx_busy ? ready : port.tx_busy;
-  if (first_out > ready) tx_wait_ += first_out - ready;
+  // Phase 1: this channel's own egress chain (self backlog = gap).
+  TimeNs chan_free = ready;
+  TimeNs& chain = chan_busy_[static_cast<std::size_t>(vci)];
+  if (chain > chan_free) chan_free = chain;
+  // Phase 2: the node's tx rail carrying this channel.  Waiting here is
+  // contended link-wait only when the rail's previous occupant was a
+  // different rank; otherwise it is still our own serialization (gap).
+  Fabric::Rail& rail =
+      fabric_.linksOf(owner_).tx[static_cast<std::size_t>(fabric_.railOf(vci))];
+  const TimeNs first_out = chan_free > rail.busy ? chan_free : rail.busy;
+  const DurationNs rail_wait = first_out - chan_free;
+  const DurationNs contended =
+      (rail_wait > 0 && rail.last >= 0 && rail.last != owner_) ? rail_wait : 0;
+  tx_wait_ += contended;
+  if (VciCounters* vs = vciSlot(vci, wire_bytes)) {
+    ++vs->posts;
+    vs->bytes += wire_bytes;
+    vs->gap += (chan_free - ready) + (rail_wait - contended);
+    vs->link_wait += contended;
+  }
   const TimeNs last_out = first_out + ser;
-  port.tx_busy = last_out;
+  chain = last_out;
+  rail.busy = last_out;
+  rail.last = owner_;
   bytes_sent_ += wire_bytes;
   return TxTimes{first_out, last_out};
 }
 
-void Nic::arrive(DurationNs ser, sim::InlineFn deliver) {
+void Nic::arrive(Rank src, int vci, Bytes wire_bytes, sim::InlineFn deliver) {
   // Runs as an event on this NIC's rank at the earliest possible
   // first-byte-in time; now() is that instant, so ingress contention is
   // resolved in arrival order, deterministically.
   sim::Engine& eng = fabric_.engine();
-  Fabric::NodePort& port = fabric_.portOf(owner_);
+  const FabricParams& p = fabric_.params();
+  const DurationNs ser = p.serialize(wire_bytes);
+  Fabric::Rail& rail =
+      fabric_.linksOf(owner_).rx[static_cast<std::size_t>(fabric_.railOf(vci))];
   const TimeNs now = eng.now();
-  const TimeNs first_in = now > port.rx_busy ? now : port.rx_busy;
-  if (first_in > now) rx_wait_ += first_in - now;
+  const TimeNs first_in = now > rail.busy ? now : rail.busy;
+  const int src_node = p.nodeOf(src);
+  const DurationNs wait = first_in - now;
+  // Queued behind an earlier arrival from the same node: the sender's own
+  // serialization (gap).  Behind another node's traffic: incast.
+  const DurationNs contended =
+      (wait > 0 && rail.last >= 0 && rail.last != src_node) ? wait : 0;
+  rx_wait_ += contended;
+  if (VciCounters* vs = vciSlot(vci, wire_bytes)) {
+    ++vs->deliveries;
+    vs->gap += wait - contended;
+    vs->incast_wait += contended;
+  }
   const TimeNs arrival = first_in + ser;
-  port.rx_busy = arrival;
+  rail.busy = arrival;
+  rail.last = src_node;
   eng.schedule(arrival, std::move(deliver));
 }
 
-Nic::WireTimes Nic::reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready) {
+Nic::WireTimes Nic::reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready,
+                                int vci) {
   const FabricParams& p = fabric_.params();
   const DurationNs ser = p.serialize(wire_bytes);
-  const TxTimes t = reserveTx(wire_bytes, ready);
-  Fabric::NodePort& dport = fabric_.portOf(dst.owner_);
+  const TxTimes t = reserveTx(wire_bytes, ready, vci);
+  Fabric::Rail& rail = fabric_.linksOf(dst.owner_)
+                           .rx[static_cast<std::size_t>(fabric_.railOf(vci))];
   const TimeNs earliest_in = t.first_byte_out + p.wire_latency;
-  const TimeNs first_in =
-      earliest_in > dport.rx_busy ? earliest_in : dport.rx_busy;
-  if (first_in > earliest_in) dst.rx_wait_ += first_in - earliest_in;
+  const TimeNs first_in = earliest_in > rail.busy ? earliest_in : rail.busy;
+  const int src_node = p.nodeOf(owner_);
+  const DurationNs wait = first_in - earliest_in;
+  const DurationNs contended =
+      (wait > 0 && rail.last >= 0 && rail.last != src_node) ? wait : 0;
+  dst.rx_wait_ += contended;
+  if (VciCounters* vs = dst.vciSlot(vci, wire_bytes)) {
+    ++vs->deliveries;
+    vs->gap += wait - contended;
+    vs->incast_wait += contended;
+  }
   const TimeNs arrival = first_in + ser;
-  dport.rx_busy = arrival;
+  rail.busy = arrival;
+  rail.last = src_node;
   return WireTimes{t.last_byte_out, arrival};
 }
 
 // --------------------------------------------- reliability (fault mode)
 
-std::shared_ptr<Nic::ReliableTx> Nic::makeTx(Rank dst, Bytes wire_bytes) {
+std::shared_ptr<Nic::ReliableTx> Nic::makeTx(Rank dst, Bytes wire_bytes,
+                                             int vci) {
   auto tx = std::make_shared<ReliableTx>();
   tx->tx_seq = next_tx_seq_++;
   tx->src = owner_;
   tx->dst = dst;
   tx->wire_bytes = wire_bytes;
+  tx->vci = vci;
   tx->rto = fabric_.params().fault.rto_base;
   return tx;
 }
@@ -72,8 +172,9 @@ void Nic::attemptTransmission(const std::shared_ptr<ReliableTx>& tx) {
   ++fault_counters_.attempts;
 
   // Every attempt — including retransmissions and packets that will be
-  // lost — occupies both ports like any other packet.
-  const WireTimes t = reserveWire(peer, tx->wire_bytes, eng.now() + p.nic_setup);
+  // lost — occupies both rails like any other packet.
+  const WireTimes t =
+      reserveWire(peer, tx->wire_bytes, eng.now() + p.nic_setup, tx->vci);
   if (!tx->staged) {
     // Source bytes are captured once, at the first attempt's last-byte-out
     // (the DMA engine streams out of application memory; retransmissions
@@ -154,7 +255,7 @@ void Nic::sendAck(const std::shared_ptr<ReliableTx>& tx) {
   }
   ++fault_counters_.acks_sent;
   // Acks ride a dedicated control channel: latency + header serialization
-  // (+ jitter), no data-port contention.
+  // (+ jitter), no data-rail contention.
   const DurationNs extra = fabric_.drawJitter(fr.jitter);
   Nic& sender = fabric_.nic(tx->src);
   sim::Engine& eng = fabric_.engine();
@@ -195,53 +296,54 @@ void Nic::onAckTimeout(const std::shared_ptr<ReliableTx>& tx, int attempt) {
 
 // -------------------------------------------------------- work requests
 
-WorkId Nic::postSend(Rank dst, Packet pkt) {
+WorkId Nic::postSend(Rank dst, Packet pkt, int vci) {
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
   const Bytes wire = static_cast<Bytes>(pkt.payload.size()) + p.header_bytes;
   const WorkId id = next_work_++;
-  notifyPost(dst, id, WorkType::Send, wire);
+  const int ch = resolveVci(dst, vci);
+  notifyPost(dst, id, WorkType::Send, wire, ch);
 
   if (fabric_.faultEnabled()) {
     auto boxed = std::make_shared<Packet>(std::move(pkt));
-    auto tx = makeTx(dst, wire);
-    tx->deliver = [&peer, boxed] { peer.depositPacket(*boxed); };
-    tx->on_acked = [this, id] {
-      depositCompletion({id, WorkType::Send, WorkStatus::Ok});
+    auto tx = makeTx(dst, wire, ch);
+    tx->deliver = [&peer, boxed, ch] { peer.depositPacket(*boxed, ch); };
+    tx->on_acked = [this, id, ch] {
+      depositCompletion({id, WorkType::Send, WorkStatus::Ok}, ch);
     };
-    tx->on_failed = [this, id] {
-      depositCompletion({id, WorkType::Send, WorkStatus::RetryExhausted});
+    tx->on_failed = [this, id, ch] {
+      depositCompletion({id, WorkType::Send, WorkStatus::RetryExhausted}, ch);
     };
     attemptTransmission(tx);
     return id;
   }
 
-  // Two-phase wire model (parallel-safe): phase 1 reserves the egress port
-  // here, touching only sender-local state; phase 2 is an event on the
+  // Two-phase wire model (parallel-safe): phase 1 reserves the egress rail
+  // here, touching only sender-node state; phase 2 is an event on the
   // *receiving* rank's partition at first_byte_out + L, where arrive()
   // resolves ingress contention against rx state owned by that partition.
-  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup);
+  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup, ch);
   eng.schedule(t.last_byte_out,
-               [this, id] { depositCompletion({id, WorkType::Send}); });
+               [this, id, ch] { depositCompletion({id, WorkType::Send}, ch); });
   auto boxed = std::make_shared<Packet>(std::move(pkt));
-  const DurationNs ser = p.serialize(wire);
   eng.scheduleFor(dst, t.first_byte_out + p.wire_latency,
-                  [&peer, ser, boxed] {
-                    peer.arrive(ser, [&peer, boxed] {
-                      peer.depositPacket(std::move(*boxed));
+                  [&peer, src = owner_, ch, wire, boxed] {
+                    peer.arrive(src, ch, wire, [&peer, ch, boxed] {
+                      peer.depositPacket(std::move(*boxed), ch);
                     });
                   });
   return id;
 }
 
 WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
-                          const Packet* notify) {
+                          const Packet* notify, int vci) {
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
   const WorkId id = next_work_++;
-  notifyPost(dst, id, WorkType::RdmaWrite, size + p.header_bytes);
+  const int ch = resolveVci(dst, vci);
+  notifyPost(dst, id, WorkType::RdmaWrite, size + p.header_bytes, ch);
   auto staged = std::make_shared<std::vector<std::byte>>();
 
   if (fabric_.faultEnabled()) {
@@ -254,27 +356,28 @@ WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
       boxed_notify = std::make_shared<Packet>(*notify);
       wire += static_cast<Bytes>(boxed_notify->payload.size()) + p.header_bytes;
     }
-    auto tx = makeTx(dst, wire);
+    auto tx = makeTx(dst, wire, ch);
     tx->stage = [staged, src, size] {
       staged->resize(static_cast<std::size_t>(size));
       std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
     };
-    tx->deliver = [&peer, staged, dst_ptr, size, boxed_notify] {
+    tx->deliver = [&peer, staged, dst_ptr, size, boxed_notify, ch] {
       std::memcpy(dst_ptr, staged->data(), static_cast<std::size_t>(size));
-      if (boxed_notify) peer.depositPacket(*boxed_notify);
+      if (boxed_notify) peer.depositPacket(*boxed_notify, ch);
     };
-    tx->on_acked = [this, id] {
-      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::Ok});
+    tx->on_acked = [this, id, ch] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::Ok}, ch);
     };
-    tx->on_failed = [this, id] {
-      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::RetryExhausted});
+    tx->on_failed = [this, id, ch] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::RetryExhausted},
+                        ch);
     };
     attemptTransmission(tx);
     return id;
   }
 
   const Bytes wire = size + p.header_bytes;
-  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup);
+  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup, ch);
 
   // DMA semantics: the NIC streams directly out of application memory; we
   // capture the bytes when the last byte leaves the source (the sender's
@@ -282,34 +385,32 @@ WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
   // the same instant) and place them remotely at arrival.  The staged
   // buffer is written here and read on the destination partition no earlier
   // than last_byte_out + L, so the window barrier orders the accesses.
-  eng.schedule(t.last_byte_out, [this, id, staged, src, size] {
+  eng.schedule(t.last_byte_out, [this, id, ch, staged, src, size] {
     staged->resize(static_cast<std::size_t>(size));
     std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
-    depositCompletion({id, WorkType::RdmaWrite});
+    depositCompletion({id, WorkType::RdmaWrite}, ch);
   });
-  const DurationNs ser = p.serialize(wire);
   eng.scheduleFor(dst, t.first_byte_out + p.wire_latency,
-                  [&peer, ser, staged, dst_ptr, size] {
-                    peer.arrive(ser, [staged, dst_ptr, size] {
+                  [&peer, self = owner_, ch, wire, staged, dst_ptr, size] {
+                    peer.arrive(self, ch, wire, [staged, dst_ptr, size] {
                       std::memcpy(dst_ptr, staged->data(),
                                   static_cast<std::size_t>(size));
                     });
                   });
 
   if (notify != nullptr) {
-    // Same-QP ordering: the notification follows the data on the same path.
-    // Its egress slot starts no earlier than the data's last_byte_out, so
-    // its rx event lands strictly later and arrive()'s rx_busy_ chaining
-    // keeps delivery behind the data placement.
+    // Same-QP ordering: the notification follows the data on the same
+    // channel.  Its egress slot starts no earlier than the data's
+    // last_byte_out, so its rx event lands strictly later and arrive()'s
+    // rail chaining keeps delivery behind the data placement.
     auto boxed = std::make_shared<Packet>(*notify);
     const Bytes nwire =
         static_cast<Bytes>(boxed->payload.size()) + p.header_bytes;
-    const TxTimes nt = reserveTx(nwire, eng.now() + p.nic_setup);
-    const DurationNs nser = p.serialize(nwire);
+    const TxTimes nt = reserveTx(nwire, eng.now() + p.nic_setup, ch);
     eng.scheduleFor(dst, nt.first_byte_out + p.wire_latency,
-                    [&peer, nser, boxed] {
-                      peer.arrive(nser, [&peer, boxed] {
-                        peer.depositPacket(std::move(*boxed));
+                    [&peer, self = owner_, ch, nwire, boxed] {
+                      peer.arrive(self, ch, nwire, [&peer, ch, boxed] {
+                        peer.depositPacket(std::move(*boxed), ch);
                       });
                     });
   }
@@ -318,17 +419,19 @@ WorkId Nic::postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
 
 WorkId Nic::postRdmaApply(
     Rank dst, const void* src, void* dst_ptr, Bytes size,
-    std::function<void(const std::byte* staged, void* dst, Bytes n)> apply) {
+    std::function<void(const std::byte* staged, void* dst, Bytes n)> apply,
+    int vci) {
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(dst);
   const WorkId id = next_work_++;
-  notifyPost(dst, id, WorkType::RdmaWrite, size + p.header_bytes);
+  const int ch = resolveVci(dst, vci);
+  notifyPost(dst, id, WorkType::RdmaWrite, size + p.header_bytes, ch);
   auto staged = std::make_shared<std::vector<std::byte>>();
   auto boxed_apply = std::make_shared<decltype(apply)>(std::move(apply));
 
   if (fabric_.faultEnabled()) {
-    auto tx = makeTx(dst, size + p.header_bytes);
+    auto tx = makeTx(dst, size + p.header_bytes, ch);
     tx->stage = [staged, src, size] {
       staged->resize(static_cast<std::size_t>(size));
       std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
@@ -338,40 +441,43 @@ WorkId Nic::postRdmaApply(
     tx->deliver = [staged, boxed_apply, dst_ptr, size] {
       (*boxed_apply)(staged->data(), dst_ptr, size);
     };
-    tx->on_acked = [this, id] {
-      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::Ok});
+    tx->on_acked = [this, id, ch] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::Ok}, ch);
     };
-    tx->on_failed = [this, id] {
-      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::RetryExhausted});
+    tx->on_failed = [this, id, ch] {
+      depositCompletion({id, WorkType::RdmaWrite, WorkStatus::RetryExhausted},
+                        ch);
     };
     attemptTransmission(tx);
     return id;
   }
 
   const Bytes wire = size + p.header_bytes;
-  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup);
-  eng.schedule(t.last_byte_out, [this, id, staged, src, size] {
+  const TxTimes t = reserveTx(wire, eng.now() + p.nic_setup, ch);
+  eng.schedule(t.last_byte_out, [this, id, ch, staged, src, size] {
     staged->resize(static_cast<std::size_t>(size));
     std::memcpy(staged->data(), src, static_cast<std::size_t>(size));
-    depositCompletion({id, WorkType::RdmaWrite});
+    depositCompletion({id, WorkType::RdmaWrite}, ch);
   });
-  const DurationNs ser = p.serialize(wire);
   eng.scheduleFor(dst, t.first_byte_out + p.wire_latency,
-                  [&peer, ser, staged, boxed_apply, dst_ptr, size] {
-                    peer.arrive(ser, [staged, boxed_apply, dst_ptr, size] {
-                      (*boxed_apply)(staged->data(), dst_ptr, size);
-                    });
+                  [&peer, self = owner_, ch, wire, staged, boxed_apply, dst_ptr,
+                   size] {
+                    peer.arrive(self, ch, wire,
+                                [staged, boxed_apply, dst_ptr, size] {
+                                  (*boxed_apply)(staged->data(), dst_ptr, size);
+                                });
                   });
   return id;
 }
 
 WorkId Nic::postRdmaRead(Rank target, void* local_dst, const void* remote_src,
-                         Bytes size) {
+                         Bytes size, int vci) {
   const FabricParams& p = fabric_.params();
   sim::Engine& eng = fabric_.engine();
   Nic& peer = fabric_.nic(target);
   const WorkId id = next_work_++;
-  notifyPost(target, id, WorkType::RdmaRead, size + p.header_bytes);
+  const int ch = resolveVci(target, vci);
+  notifyPost(target, id, WorkType::RdmaRead, size + p.header_bytes, ch);
 
   if (fabric_.faultEnabled()) {
     // Two reliable legs: the read request to the target NIC, then the data
@@ -379,26 +485,29 @@ WorkId Nic::postRdmaRead(Rank target, void* local_dst, const void* remote_src,
     // involvement).  The requester's CQE appears when the data lands; a
     // failure of either leg surfaces RetryExhausted on the requester's CQ
     // (its own response timeout).
-    auto req = makeTx(target, p.header_bytes);
-    req->deliver = [this, &peer, id, local_dst, remote_src, size] {
+    auto req = makeTx(target, p.header_bytes, ch);
+    req->deliver = [this, &peer, id, ch, local_dst, remote_src, size] {
       auto staged = std::make_shared<std::vector<std::byte>>();
-      auto data = peer.makeTx(owner_, size + fabric_.params().header_bytes);
+      auto data =
+          peer.makeTx(owner_, size + fabric_.params().header_bytes, ch);
       data->stage = [staged, remote_src, size] {
         staged->resize(static_cast<std::size_t>(size));
         std::memcpy(staged->data(), remote_src,
                     static_cast<std::size_t>(size));
       };
-      data->deliver = [this, id, staged, local_dst, size] {
+      data->deliver = [this, id, ch, staged, local_dst, size] {
         std::memcpy(local_dst, staged->data(), static_cast<std::size_t>(size));
-        depositCompletion({id, WorkType::RdmaRead, WorkStatus::Ok});
+        depositCompletion({id, WorkType::RdmaRead, WorkStatus::Ok}, ch);
       };
-      data->on_failed = [this, id] {
-        depositCompletion({id, WorkType::RdmaRead, WorkStatus::RetryExhausted});
+      data->on_failed = [this, id, ch] {
+        depositCompletion({id, WorkType::RdmaRead, WorkStatus::RetryExhausted},
+                          ch);
       };
       peer.attemptTransmission(data);
     };
-    req->on_failed = [this, id] {
-      depositCompletion({id, WorkType::RdmaRead, WorkStatus::RetryExhausted});
+    req->on_failed = [this, id, ch] {
+      depositCompletion({id, WorkType::RdmaRead, WorkStatus::RetryExhausted},
+                        ch);
     };
     attemptTransmission(req);
     return id;
@@ -408,78 +517,123 @@ WorkId Nic::postRdmaRead(Rank target, void* local_dst, const void* remote_src,
   // DMA engine streams the data back, with no target-host involvement
   // whatsoever (this is what makes RDMA Read rendezvous fully overlappable
   // for the sender-side process).  Each leg is the two-phase pattern: tx
-  // reservation on the partition that owns the egress port, rx resolution
-  // as an event on the partition that owns the ingress port.
-  const TxTimes req = reserveTx(p.header_bytes, eng.now() + p.nic_setup);
-  const DurationNs req_ser = p.serialize(p.header_bytes);
+  // reservation on the partition that owns the egress rail, rx resolution
+  // as an event on the partition that owns the ingress rail.  Both legs
+  // ride the request's channel.
+  const TxTimes req = reserveTx(p.header_bytes, eng.now() + p.nic_setup, ch);
   eng.scheduleFor(
       target, req.first_byte_out + p.wire_latency,
-      [this, &peer, id, local_dst, remote_src, size, req_ser] {
-        peer.arrive(req_ser, [this, &peer, id, local_dst, remote_src, size] {
+      [this, &peer, id, ch, local_dst, remote_src, size] {
+        const Bytes req_wire = fabric_.params().header_bytes;
+        peer.arrive(owner_, ch, req_wire,
+                    [this, &peer, id, ch, local_dst, remote_src, size] {
           // Target side, at the request's arrival instant.
           const FabricParams& tp = fabric_.params();
           sim::Engine& teng = fabric_.engine();
           const Bytes wire = size + tp.header_bytes;
-          const TxTimes data = peer.reserveTx(wire, teng.now() + tp.nic_setup);
+          const TxTimes data =
+              peer.reserveTx(wire, teng.now() + tp.nic_setup, ch);
           auto staged = std::make_shared<std::vector<std::byte>>();
           teng.schedule(data.last_byte_out, [staged, remote_src, size] {
             staged->resize(static_cast<std::size_t>(size));
             std::memcpy(staged->data(), remote_src,
                         static_cast<std::size_t>(size));
           });
-          const DurationNs ser = tp.serialize(wire);
-          teng.scheduleFor(owner_, data.first_byte_out + tp.wire_latency,
-                           [this, ser, id, staged, local_dst, size] {
-                             arrive(ser, [this, id, staged, local_dst, size] {
-                               std::memcpy(local_dst, staged->data(),
-                                           static_cast<std::size_t>(size));
-                               depositCompletion({id, WorkType::RdmaRead});
-                             });
-                           });
+          const Rank target_rank = peer.owner_;
+          teng.scheduleFor(
+              owner_, data.first_byte_out + tp.wire_latency,
+              [this, target_rank, ch, wire, id, staged, local_dst, size] {
+                arrive(target_rank, ch, wire,
+                       [this, id, ch, staged, local_dst, size] {
+                         std::memcpy(local_dst, staged->data(),
+                                     static_cast<std::size_t>(size));
+                         depositCompletion({id, WorkType::RdmaRead}, ch);
+                       });
+              });
         });
       });
   return id;
 }
 
 bool Nic::pollCompletion(Completion& out) {
-  if (cq_.empty()) return false;
-  out = cq_.front();
-  cq_.pop_front();
+  if (cq_size_ == 0) return false;
+  std::deque<std::pair<std::uint64_t, Completion>>* best = nullptr;
+  for (auto& q : cq_) {
+    if (q.empty()) continue;
+    if (best == nullptr || q.front().first < best->front().first) best = &q;
+  }
+  out = best->front().second;
+  best->pop_front();
+  --cq_size_;
+  return true;
+}
+
+bool Nic::pollCompletionOn(int vci, Completion& out) {
+  auto& q = cq_[static_cast<std::size_t>(vci)];
+  if (q.empty()) return false;
+  out = q.front().second;
+  q.pop_front();
+  --cq_size_;
   return true;
 }
 
 std::size_t Nic::drainCompletions(std::vector<Completion>& out) {
-  const std::size_t n = cq_.size();
-  out.insert(out.end(), cq_.begin(), cq_.end());
-  cq_.clear();
+  const std::size_t n = cq_size_;
+  if (cq_.size() == 1) {
+    for (const auto& e : cq_[0]) out.push_back(e.second);
+    cq_[0].clear();
+    cq_size_ = 0;
+    return n;
+  }
+  Completion c;
+  while (pollCompletion(c)) out.push_back(c);
   return n;
 }
 
 bool Nic::pollRecv(Packet& out) {
-  if (rq_.empty()) return false;
-  out = std::move(rq_.front());
-  rq_.pop_front();
+  if (rq_size_ == 0) return false;
+  std::deque<std::pair<std::uint64_t, Packet>>* best = nullptr;
+  for (auto& q : rq_) {
+    if (q.empty()) continue;
+    if (best == nullptr || q.front().first < best->front().first) best = &q;
+  }
+  out = std::move(best->front().second);
+  best->pop_front();
+  --rq_size_;
   return true;
 }
 
-void Nic::notifyPost(Rank dst, WorkId id, WorkType type, Bytes wire_bytes) {
+bool Nic::pollRecvOn(int vci, Packet& out) {
+  auto& q = rq_[static_cast<std::size_t>(vci)];
+  if (q.empty()) return false;
+  out = std::move(q.front().second);
+  q.pop_front();
+  --rq_size_;
+  return true;
+}
+
+void Nic::notifyPost(Rank dst, WorkId id, WorkType type, Bytes wire_bytes,
+                     int vci) {
   if (fabric_.observer_ != nullptr) {
-    fabric_.observer_->onPost(owner_, dst, id, type, wire_bytes,
+    fabric_.observer_->onPost(owner_, dst, id, type, wire_bytes, vci,
                               fabric_.engine().now());
   }
 }
 
-void Nic::depositCompletion(Completion c) {
+void Nic::depositCompletion(Completion c, int vci) {
   if (fabric_.observer_ != nullptr) {
     fabric_.observer_->onComplete(owner_, c, fabric_.engine().now());
   }
-  cq_.push_back(c);
+  cq_[static_cast<std::size_t>(vci)].emplace_back(deposit_seq_++, c);
+  ++cq_size_;
   fabric_.engine().wake(owner_);
 }
 
-void Nic::depositPacket(Packet pkt) {
+void Nic::depositPacket(Packet pkt, int vci) {
   ++packets_delivered_;
-  rq_.push_back(std::move(pkt));
+  rq_[static_cast<std::size_t>(vci)].emplace_back(deposit_seq_++,
+                                                  std::move(pkt));
+  ++rq_size_;
   fabric_.engine().wake(owner_);
 }
 
@@ -491,10 +645,18 @@ Fabric::Fabric(sim::Engine& engine, FabricParams params, int nranks)
       deterministic_drops_left_(params_.fault.deterministic_drops) {
   engine_.setLookahead(params_.lookahead());
   if (params_.ranks_per_node < 1) params_.ranks_per_node = 1;
-  // Node-aligned partitions keep each node's port pair on one worker.
+  if (params_.vci.channels < 0) params_.vci.channels = 0;
+  if (params_.vci.rails < 1) params_.vci.rails = 1;
+  // Node-aligned partitions keep each node's rail set on one worker.
   engine_.setPartitionAlign(params_.ranks_per_node);
-  ports_.resize(static_cast<std::size_t>(
-      nranks > 0 ? params_.nodeOf(nranks - 1) + 1 : 0));
+  const std::size_t nnodes = static_cast<std::size_t>(
+      nranks > 0 ? params_.nodeOf(nranks - 1) + 1 : 0);
+  links_.resize(nnodes);
+  const std::size_t rails = static_cast<std::size_t>(params_.vci.railCount());
+  for (NodeLinks& l : links_) {
+    l.tx.resize(rails);
+    l.rx.resize(rails);
+  }
   nics_.reserve(static_cast<std::size_t>(nranks));
   for (Rank r = 0; r < nranks; ++r) {
     nics_.push_back(std::unique_ptr<Nic>(new Nic(*this, r)));

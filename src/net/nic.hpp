@@ -10,13 +10,24 @@
 // computing stays busy, and discovers the event only at its next library
 // call.  That asymmetry is what the paper's instrumentation measures.
 //
-// Timing model per transfer of S wire bytes from NIC a to NIC b:
-//   first_byte_out  t0  = max(post + nic_setup, a.tx_busy)
-//   last_byte_out       = t0 + S*G        (a.tx_busy updated)
-//   first_byte_in       = max(t0 + L, b.rx_busy)
-//   arrival             = first_byte_in + S*G   (b.rx_busy updated)
-// which reduces to t0 + L + S*G on an unloaded path, and models egress and
-// ingress port contention under load (e.g. FT's Alltoall).
+// Channelized wire model (DESIGN.md 5.17).  Each NIC exposes
+// VciParams::channelCount() virtual channel interfaces (VCIs), each with
+// its own receive/completion queues and its own egress serialization chain;
+// channel c of every NIC maps to physical rail c % rails of its node's
+// port.  A transfer of S wire bytes on channel c from NIC a to NIC b:
+//   chan_free       = max(post + nic_setup, a.chan_busy[c])   (own backlog)
+//   first_byte_out  = max(chan_free, a.tx_rail[c%R].busy)     (rail arbitration)
+//   last_byte_out   = first_byte_out + S*G    (chain + rail updated)
+//   first_byte_in   = max(first_byte_out + L, b.rx_rail[c%R].busy)
+//   arrival         = first_byte_in + S*G     (rail updated)
+// which reduces to t0 + L + S*G on an unloaded path.  Waiting behind one's
+// own earlier traffic (same rank on tx, same source node on rx) is
+// accounted as *gap* (LogGP bandwidth limit); waiting behind traffic from
+// a different rank (tx) or different source node (rx) is *link-wait* /
+// *incast-wait* — the contended share that feeds the cluster layer's
+// interference metrics.  With channels == 0 (default) a single implicit
+// channel on one rail reproduces the historical single-queue model
+// bit-for-bit.
 // When FabricParams::fault is enabled the fabric becomes lossy and every
 // NIC runs a reliability protocol on top of the same wire model: each data
 // transmission is acked by the receiving NIC, lost/corrupted packets are
@@ -32,6 +43,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "net/fault.hpp"
@@ -56,21 +68,24 @@ class Nic {
   /// Posts a two-sided send of `pkt` to rank dst.  A local Send completion
   /// appears on this NIC's CQ when the last byte leaves; the packet appears
   /// on dst's receive queue at arrival time.  Returns the work id.
-  WorkId postSend(Rank dst, Packet pkt);
+  /// `vci` < 0 lets the configured channel-assignment policy pick.
+  WorkId postSend(Rank dst, Packet pkt, int vci = -1);
 
   /// Posts an RDMA Write of `size` bytes from local memory `src` into
   /// remote memory `dst_ptr` on rank dst.  Data is captured when the last
   /// byte leaves the source and placed remotely at arrival.  If
   /// `notify` is non-null it is delivered to dst's receive queue after the
-  /// data (same-QP ordering), modelling a write-completion control message.
+  /// data (same-QP ordering: the notification rides the data's channel),
+  /// modelling a write-completion control message.
   WorkId postRdmaWrite(Rank dst, const void* src, void* dst_ptr, Bytes size,
-                       const Packet* notify = nullptr);
+                       const Packet* notify = nullptr, int vci = -1);
 
   /// Posts an RDMA Read of `size` bytes from remote memory `remote_src` on
   /// rank target into local memory `local_dst`.  The local RdmaRead
-  /// completion appears when the data has fully arrived.
+  /// completion appears when the data has fully arrived.  Both legs
+  /// (request out, data back) use the same channel.
   WorkId postRdmaRead(Rank target, void* local_dst, const void* remote_src,
-                      Bytes size);
+                      Bytes size, int vci = -1);
 
   /// RDMA Write variant whose remote placement is performed by `apply`
   /// (staged source bytes, destination pointer) instead of a plain copy —
@@ -78,10 +93,19 @@ class Nic {
   /// target-side NIC/agent combines incoming data into memory.
   WorkId postRdmaApply(
       Rank dst, const void* src, void* dst_ptr, Bytes size,
-      std::function<void(const std::byte* staged, void* dst, Bytes n)> apply);
+      std::function<void(const std::byte* staged, void* dst, Bytes n)> apply,
+      int vci = -1);
+
+  /// Channel the configured assignment policy would pick for a post to
+  /// `dst` carrying `tag` (tag < 0 = untagged control traffic).  Always 0
+  /// when the VCI layer is disabled.  Library layers call this to pin a
+  /// (peer, tag) message stream to one channel.
+  int vciFor(Rank dst, int tag);
 
   /// Non-blocking CQ poll; true if a completion was dequeued into `out`.
-  /// The *host cost* of polling is charged by the library layer, not here.
+  /// Drains all channels' CQs in deposit order (identical to the
+  /// single-queue model).  The *host cost* of polling is charged by the
+  /// library layer, not here.
   bool pollCompletion(Completion& out);
 
   /// Batched CQ drain: appends every pending completion to `out` and returns
@@ -90,11 +114,15 @@ class Nic {
   /// unchanged.
   std::size_t drainCompletions(std::vector<Completion>& out);
 
-  /// Non-blocking receive-queue poll.
+  /// Non-blocking receive-queue poll (all channels, deposit order).
   bool pollRecv(Packet& out);
 
-  [[nodiscard]] bool hasCompletion() const { return !cq_.empty(); }
-  [[nodiscard]] bool hasRecv() const { return !rq_.empty(); }
+  /// Single-channel variants: poll only channel `vci`'s queues.
+  bool pollCompletionOn(int vci, Completion& out);
+  bool pollRecvOn(int vci, Packet& out);
+
+  [[nodiscard]] bool hasCompletion() const { return cq_size_ > 0; }
+  [[nodiscard]] bool hasRecv() const { return rq_size_ > 0; }
 
   /// Registration cache for this HCA.
   [[nodiscard]] RegistrationCache& regCache() { return reg_cache_; }
@@ -105,12 +133,34 @@ class Nic {
   }
   [[nodiscard]] Bytes bytesSent() const { return bytes_sent_; }
 
-  /// Cumulative time this rank's transfers spent queued behind its node's
-  /// busy egress (tx) / ingress (rx) port — zero on an unloaded fabric.
-  /// The attribution signal behind the cluster layer's fabric-contention
-  /// share: wait accrues on whichever rank's transfer found the port busy.
+  /// Cumulative *contended* link time of this rank's transfers: virtual
+  /// time spent queued behind a different rank's traffic on the node's
+  /// egress rails (tx) or behind a different source node's traffic on the
+  /// ingress rails (rx, incast).  Waiting behind one's own earlier
+  /// transfers is a bandwidth (gap) effect and is deliberately excluded —
+  /// this is the attribution signal behind the cluster layer's
+  /// fabric-contention share, which should not count self-serialization.
   [[nodiscard]] DurationNs linkWaitTx() const { return tx_wait_; }
   [[nodiscard]] DurationNs linkWaitRx() const { return rx_wait_; }
+
+  /// Per-(channel, size-class) wire accounting, populated only when the
+  /// VCI layer is enabled (row index c * nclasses + k, see VciParams).
+  /// Tx fields (posts/bytes/gap/link_wait) accrue on the sending NIC per
+  /// wire transfer; rx fields (deliveries/incast_wait and the rx share of
+  /// gap) on the NIC whose ingress rail the transfer occupied.  Under the
+  /// fault model every attempt (including dropped ones) occupies the wire
+  /// and is counted.
+  struct VciCounters {
+    std::int64_t posts = 0;       // wire transfers that left on this channel
+    std::int64_t deliveries = 0;  // wire transfers that occupied ingress
+    Bytes bytes = 0;              // wire bytes out
+    DurationNs gap = 0;           // wait behind own/same-source backlog
+    DurationNs link_wait = 0;     // tx wait behind other ranks' traffic
+    DurationNs incast_wait = 0;   // rx wait behind other nodes' traffic
+  };
+  [[nodiscard]] const std::vector<VciCounters>& vciCounters() const {
+    return vci_stats_;
+  }
 
   /// Fault/reliability counters for this NIC (all zero when the fault
   /// model is disabled).  Tx-side events (drops, retransmissions, timeouts,
@@ -123,37 +173,50 @@ class Nic {
  private:
   friend class Fabric;
 
-  /// Egress-port reservation: schedules S wire bytes out of this NIC no
-  /// earlier than `ready`, updating tx_busy_.  Touches only sender-local
-  /// state, so it is safe from the posting rank's partition in parallel
-  /// runs.  Returns {first_byte_out, last_byte_out}.
+  /// Resolves a caller-requested channel (clamped into range) or applies
+  /// the assignment policy; always 0 when the layer is disabled.
+  int resolveVci(Rank dst, int requested);
+
+  /// Per-(channel, class) counter slot for a transfer of `wire_bytes` on
+  /// `vci`; null when the VCI layer is disabled.
+  VciCounters* vciSlot(int vci, Bytes wire_bytes);
+
+  /// Egress reservation: schedules S wire bytes out of this NIC's channel
+  /// `vci` no earlier than `ready` — first behind the channel's own chain
+  /// (gap), then behind the node's tx rail c % rails (link-wait when the
+  /// rail's previous occupant was a different rank).  Touches only
+  /// sender-node state, so it is safe from the posting rank's partition in
+  /// parallel runs.  Returns {first_byte_out, last_byte_out}.
   struct TxTimes {
     TimeNs first_byte_out;
     TimeNs last_byte_out;
   };
-  TxTimes reserveTx(Bytes wire_bytes, TimeNs ready);
+  TxTimes reserveTx(Bytes wire_bytes, TimeNs ready, int vci);
 
-  /// Ingress-port reservation + delivery, the second phase of a transfer.
+  /// Ingress arbitration + delivery, the second phase of a transfer.
   /// Runs as an event on *this* (receiving) NIC's rank at the earliest
   /// first-byte-in time (sender's first_byte_out + wire latency): computes
-  /// the actual arrival under rx contention, updates rx_busy_, and schedules
-  /// `deliver` at arrival.  Keeping all rx state changes on the owner's
-  /// partition is what makes the lossless path parallel-safe.
-  void arrive(DurationNs ser, sim::InlineFn deliver);
+  /// the actual arrival under rx-rail contention (incast-wait when the
+  /// rail's previous occupant came from a different node than `src`),
+  /// updates the rail, and schedules `deliver` at arrival.  Keeping all rx
+  /// state changes on the owner's partition is what makes the lossless
+  /// path parallel-safe.
+  void arrive(Rank src, int vci, Bytes wire_bytes, sim::InlineFn deliver);
 
-  /// Legacy one-shot reservation of both ports (fault path only — fault
+  /// Legacy one-shot reservation of both sides (fault path only — fault
   /// mode forces sequential execution, where the synchronous remote
-  /// rx_busy_ update is safe).  Returns {last_byte_out, arrival}.
+  /// rx-rail update is safe).  Returns {last_byte_out, arrival}.
   struct WireTimes {
     TimeNs last_byte_out;
     TimeNs arrival;
   };
-  WireTimes reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready);
+  WireTimes reserveWire(Nic& dst, Bytes wire_bytes, TimeNs ready, int vci);
 
-  void depositCompletion(Completion c);
-  void depositPacket(Packet pkt);
+  void depositCompletion(Completion c, int vci);
+  void depositPacket(Packet pkt, int vci);
   /// Tells the fabric's WireObserver (if any) about a work-request post.
-  void notifyPost(Rank dst, WorkId id, WorkType type, Bytes wire_bytes);
+  void notifyPost(Rank dst, WorkId id, WorkType type, Bytes wire_bytes,
+                  int vci);
 
   // ---- reliability protocol (fault mode only) ----
 
@@ -161,12 +224,13 @@ class Nic {
   /// and retransmitted.  `deliver` runs exactly once on the receiving NIC
   /// (duplicates are discarded there); `stage` captures source bytes at the
   /// first attempt's last-byte-out; `on_acked`/`on_failed` run on the
-  /// sending NIC.
+  /// sending NIC.  Every attempt rides the transmission's channel.
   struct ReliableTx {
     std::int64_t tx_seq = 0;  // unique per sending NIC
     Rank src = -1;
     Rank dst = -1;
     Bytes wire_bytes = 0;
+    int vci = 0;
     int attempt = 0;  // transmissions so far (1 = original)
     DurationNs rto = 0;
     bool staged = false;
@@ -178,7 +242,7 @@ class Nic {
     std::function<void()> on_failed;
   };
 
-  std::shared_ptr<ReliableTx> makeTx(Rank dst, Bytes wire_bytes);
+  std::shared_ptr<ReliableTx> makeTx(Rank dst, Bytes wire_bytes, int vci);
   /// Sends (or re-sends) `tx` over the wire, rolling fault dice for this
   /// attempt, and arms the ack timeout.
   void attemptTransmission(const std::shared_ptr<ReliableTx>& tx);
@@ -192,8 +256,19 @@ class Nic {
   Fabric& fabric_;
   Rank owner_;
   RegistrationCache reg_cache_;
-  std::deque<Completion> cq_;
-  std::deque<Packet> rq_;
+  /// Per-channel completion / receive queues; entries carry a per-NIC
+  /// deposit stamp so cross-channel polling preserves global deposit order
+  /// (bit-identical to the historical single queue).
+  std::vector<std::deque<std::pair<std::uint64_t, Completion>>> cq_;
+  std::vector<std::deque<std::pair<std::uint64_t, Packet>>> rq_;
+  std::uint64_t deposit_seq_ = 0;
+  std::size_t cq_size_ = 0;
+  std::size_t rq_size_ = 0;
+  /// Per-channel egress chain: last_byte_out of the channel's latest
+  /// transfer (the per-VCI "send queue" in virtual time).
+  std::vector<TimeNs> chan_busy_;
+  std::vector<VciCounters> vci_stats_;  // empty unless VCI layer enabled
+  int rr_next_ = 0;                     // round-robin policy cursor
   DurationNs tx_wait_ = 0;
   DurationNs rx_wait_ = 0;
   WorkId next_work_ = 1;
@@ -206,12 +281,12 @@ class Nic {
 };
 
 /// The cluster fabric: one NIC per rank plus the shared timing parameters
-/// and the owning simulation engine.  Port (tx/rx serialization) state
+/// and the owning simulation engine.  Rail (tx/rx serialization) state
 /// lives per *node* — with FabricParams::ranks_per_node == 1 that is
 /// per-rank, bit-identical to the historical model; with more ranks per
-/// node, co-located ranks contend for the node's ports.  Attaching the
+/// node, co-located ranks contend for the node's rails.  Attaching the
 /// fabric exports ranks_per_node as the engine's partition alignment, so a
-/// node's port state is only ever touched from one worker thread.
+/// node's rail state is only ever touched from one worker thread.
 class Fabric {
  public:
   Fabric(sim::Engine& engine, FabricParams params, int nranks);
@@ -220,9 +295,10 @@ class Fabric {
   [[nodiscard]] const FabricParams& params() const { return params_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] int size() const { return static_cast<int>(nics_.size()); }
-  [[nodiscard]] int nodes() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] int nodes() const { return static_cast<int>(links_.size()); }
 
-  /// Total link-wait (tx + rx) accrued by rank r's transfers so far.
+  /// Total contended link-wait (tx rail + rx incast) accrued by rank r's
+  /// transfers so far; excludes self-serialization (see Nic::linkWaitTx).
   [[nodiscard]] DurationNs linkWait(Rank r) {
     const Nic& n = nic(r);
     return n.linkWaitTx() + n.linkWaitRx();
@@ -244,16 +320,30 @@ class Fabric {
  private:
   friend class Nic;
 
-  /// One node's NIC port pair.  All ranks of a node serialize their wire
-  /// traffic through these; the engine's node-aligned partitions keep each
-  /// pair single-threaded in parallel runs.
-  struct NodePort {
-    TimeNs tx_busy = 0;
-    TimeNs rx_busy = 0;
+  /// One physical rail of a node port: when it frees up, and which rank
+  /// (tx side) or source node (rx side) last occupied it — the identity
+  /// that classifies a later transfer's wait as self (gap) vs contended
+  /// (link/incast wait).
+  struct Rail {
+    TimeNs busy = 0;
+    Rank last = -1;
   };
 
-  [[nodiscard]] NodePort& portOf(Rank r) {
-    return ports_[static_cast<std::size_t>(params_.nodeOf(r))];
+  /// One node's rail sets.  All ranks of a node serialize their wire
+  /// traffic through these; the engine's node-aligned partitions keep each
+  /// set single-threaded in parallel runs.
+  struct NodeLinks {
+    std::vector<Rail> tx;
+    std::vector<Rail> rx;
+  };
+
+  [[nodiscard]] NodeLinks& linksOf(Rank r) {
+    return links_[static_cast<std::size_t>(params_.nodeOf(r))];
+  }
+
+  /// Physical rail carrying channel `vci` (same mapping on tx and rx).
+  [[nodiscard]] int railOf(int vci) const {
+    return vci % params_.vci.railCount();
   }
 
   /// Deterministic fault dice; consumed in engine event order only.
@@ -278,7 +368,7 @@ class Fabric {
   sim::Engine& engine_;
   FabricParams params_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  std::vector<NodePort> ports_;
+  std::vector<NodeLinks> links_;
   WireObserver* observer_ = nullptr;
   bool fault_enabled_ = false;
   util::Rng fault_rng_;

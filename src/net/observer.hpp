@@ -19,9 +19,10 @@ class WireObserver {
  public:
   virtual ~WireObserver() = default;
 
-  /// A host posted a work request on rank `src`'s NIC.
+  /// A host posted a work request on rank `src`'s NIC.  `vci` is the
+  /// resolved virtual channel (0 when the VCI layer is disabled).
   virtual void onPost(Rank src, Rank dst, WorkId id, WorkType type,
-                      Bytes wire_bytes, TimeNs t) = 0;
+                      Bytes wire_bytes, int vci, TimeNs t) = 0;
   /// A completion landed on rank `owner`'s CQ.
   virtual void onComplete(Rank owner, const Completion& c, TimeNs t) = 0;
   /// Reliability protocol (fault model only): a logical transmission was

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "net/fault.hpp"
+#include "net/vci.hpp"
 #include "util/types.hpp"
 
 namespace ovp::net {
@@ -60,6 +61,12 @@ struct FabricParams {
   /// default: the fabric is lossless and timing matches the legacy model
   /// bit-for-bit.
   FaultModel fault;
+
+  /// Multi-VCI channel layer (net/vci.hpp).  Disabled by default
+  /// (channels == 0): single implicit channel, one rail, no per-channel
+  /// accounting — behaviour and timing bit-identical to the historical
+  /// single-queue NIC.
+  VciParams vci;
 
   /// Minimum cross-NIC delay, exported to the engine as the
   /// conservative-parallel lookahead: every remotely visible effect of a

@@ -1,0 +1,77 @@
+#include "net/vci.hpp"
+
+#include <charconv>
+
+namespace ovp::net {
+
+int VciParams::classOf(Bytes size) const {
+  int k = 0;
+  for (const Bytes bound : class_bounds) {
+    if (size < bound) return k;
+    ++k;
+  }
+  return k;
+}
+
+std::string VciParams::classLabel(int k) const {
+  if (class_bounds.empty()) return "all";
+  if (k <= 0) return "<" + std::to_string(class_bounds.front()) + "B";
+  if (k >= static_cast<int>(class_bounds.size())) {
+    return ">=" + std::to_string(class_bounds.back()) + "B";
+  }
+  return "[" + std::to_string(class_bounds[static_cast<std::size_t>(k) - 1]) +
+         "B," + std::to_string(class_bounds[static_cast<std::size_t>(k)]) +
+         "B)";
+}
+
+const char* VciParams::policyName(VciPolicy p) {
+  switch (p) {
+    case VciPolicy::TagHash:
+      return "tag-hash";
+    case VciPolicy::RoundRobin:
+      return "round-robin";
+    case VciPolicy::PerPeer:
+      return "per-peer";
+    case VciPolicy::Explicit:
+      return "explicit";
+  }
+  return "?";
+}
+
+bool VciParams::parsePolicy(std::string_view name, VciPolicy& out) {
+  if (name == "tag-hash") {
+    out = VciPolicy::TagHash;
+  } else if (name == "round-robin") {
+    out = VciPolicy::RoundRobin;
+  } else if (name == "per-peer") {
+    out = VciPolicy::PerPeer;
+  } else if (name == "explicit") {
+    out = VciPolicy::Explicit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool VciParams::parse(std::string_view spec, VciParams& out) {
+  if (spec.empty()) return false;
+  std::string_view count = spec;
+  std::string_view policy;
+  bool has_policy = false;
+  if (const std::size_t comma = spec.find(','); comma != std::string_view::npos) {
+    count = spec.substr(0, comma);
+    policy = spec.substr(comma + 1);
+    has_policy = true;
+  }
+  int channels = 0;
+  const auto [ptr, ec] =
+      std::from_chars(count.data(), count.data() + count.size(), channels);
+  if (ec != std::errc() || ptr != count.data() + count.size()) return false;
+  if (channels < 1 || channels > 64) return false;
+  out.channels = channels;
+  if (has_policy && !parsePolicy(policy, out.policy)) return false;
+  if (out.class_bounds.empty()) out.class_bounds = {16384};
+  return true;
+}
+
+}  // namespace ovp::net

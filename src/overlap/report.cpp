@@ -44,6 +44,37 @@ void writeSection(std::ostream& os, const SectionReport& s,
   }
 }
 
+std::string vciClassLabel(const VciStats& v, int k) {
+  if (v.class_bounds.empty()) return "all";
+  if (k <= 0) return "<" + std::to_string(v.class_bounds.front()) + "B";
+  if (k >= static_cast<int>(v.class_bounds.size())) {
+    return ">=" + std::to_string(v.class_bounds.back()) + "B";
+  }
+  return "[" +
+         std::to_string(v.class_bounds[static_cast<std::size_t>(k) - 1]) +
+         "B," + std::to_string(v.class_bounds[static_cast<std::size_t>(k)]) +
+         "B)";
+}
+
+void writeVci(std::ostream& os, const VciStats& v) {
+  os << "vci channels=" << v.channels << " size_classes=" << v.nclasses()
+     << '\n';
+  for (int c = 0; c < v.channels; ++c) {
+    for (int k = 0; k < v.nclasses(); ++k) {
+      const VciChannelClass& row = v.at(c, k);
+      if (!row.any()) continue;
+      os << "  ch" << c << ' ' << vciClassLabel(v, k)
+         << ": posts=" << row.posts << " deliveries=" << row.deliveries
+         << " bytes=" << row.bytes
+         << " o_send=" << util::humanDuration(row.o_send)
+         << " o_recv=" << util::humanDuration(row.o_recv)
+         << " gap=" << util::humanDuration(row.gap)
+         << " link_wait=" << util::humanDuration(row.link_wait)
+         << " incast_wait=" << util::humanDuration(row.incast_wait) << '\n';
+    }
+  }
+}
+
 }  // namespace
 
 void Report::write(std::ostream& os) const {
@@ -68,6 +99,7 @@ void Report::write(std::ostream& os) const {
        << " retry_exhausted=" << faults.retry_exhausted
        << " acks=" << faults.acks_sent << '/' << faults.acks_dropped << '\n';
   }
+  if (vci.any()) writeVci(os, vci);
   writeSection(os, whole, classes);
   for (const SectionReport& s : sections) writeSection(os, s, classes);
 }
@@ -147,6 +179,19 @@ void Report::save(std::ostream& os) const {
        << faults.retry_exhausted << ' ' << faults.acks_sent << ' '
        << faults.acks_dropped << '\n';
   }
+  if (vci.any()) {
+    // Written only when the VCI layer ran so channel-free outputs stay
+    // byte-identical with pre-VCI readers/goldens; load() treats the block
+    // as optional.
+    os << "vci " << vci.channels << ' ' << vci.class_bounds.size();
+    for (const std::int64_t b : vci.class_bounds) os << ' ' << b;
+    os << '\n';
+    for (const VciChannelClass& row : vci.rows) {
+      os << "vcirow " << row.posts << ' ' << row.deliveries << ' '
+         << row.bytes << ' ' << row.o_send << ' ' << row.o_recv << ' '
+         << row.gap << ' ' << row.link_wait << ' ' << row.incast_wait << '\n';
+    }
+  }
   os << "classes";
   for (const Bytes b : classes.bounds()) os << ' ' << b;
   os << '\n';
@@ -183,6 +228,26 @@ bool Report::load(std::istream& is) {
           faults.retry_exhausted >> faults.acks_sent >>
           faults.acks_dropped)) {
       return false;
+    }
+    if (!(is >> key)) return false;
+  }
+  if (key == "vci") {
+    std::size_t nbounds = 0;
+    if (!(is >> vci.channels >> nbounds)) return false;
+    if (vci.channels < 1 || nbounds > 64) return false;
+    vci.class_bounds.resize(nbounds);
+    for (std::int64_t& b : vci.class_bounds) {
+      if (!(is >> b)) return false;
+    }
+    const std::size_t nrows = static_cast<std::size_t>(vci.channels) *
+                              static_cast<std::size_t>(vci.nclasses());
+    vci.rows.resize(nrows);
+    for (VciChannelClass& row : vci.rows) {
+      if (!(is >> key) || key != "vcirow") return false;
+      if (!(is >> row.posts >> row.deliveries >> row.bytes >> row.o_send >>
+            row.o_recv >> row.gap >> row.link_wait >> row.incast_wait)) {
+        return false;
+      }
     }
     if (!(is >> key)) return false;
   }
@@ -269,6 +334,7 @@ void MergeAccumulator::add(const Report& r) {
   merged.xfer_below_range += r.xfer_below_range;
   merged.xfer_above_range += r.xfer_above_range;
   merged.faults += r.faults;
+  merged.vci += r.vci;
   mergeSection(merged.whole, r.whole);
   for (const SectionReport& s : r.sections) {
     SectionReport* target = nullptr;

@@ -119,6 +119,77 @@ struct FaultStats {
   }
 };
 
+/// Per-channel, per-size-class LogGP-style wire accounting, attached to a
+/// report when the simulated fabric ran with net::VciParams enabled
+/// (channels > 0).  Row (c, k) covers wire transfers on virtual channel c
+/// whose wire size falls into size class k (bounds in `class_bounds`, last
+/// class unbounded); the machine layer copies the NIC counters over after a
+/// run and derives the o_send / o_recv overhead estimates from the fabric's
+/// post/poll costs.  Empty (and omitted from output) when the VCI layer is
+/// disabled.  Mirrors net::Nic::VciCounters (duplicated here because
+/// overlap/ sits below net/ in the dependency graph).
+struct VciChannelClass {
+  std::int64_t posts = 0;       // wire transfers sent on this channel/class
+  std::int64_t deliveries = 0;  // wire transfers received
+  std::int64_t bytes = 0;       // wire bytes sent
+  std::int64_t o_send = 0;      // derived: posts * post_overhead (ns)
+  std::int64_t o_recv = 0;      // derived: deliveries * cq_poll_cost (ns)
+  std::int64_t gap = 0;         // wait behind own/same-source backlog (ns)
+  std::int64_t link_wait = 0;   // egress wait behind other ranks (ns)
+  std::int64_t incast_wait = 0;  // ingress wait behind other nodes (ns)
+
+  [[nodiscard]] bool any() const {
+    return posts != 0 || deliveries != 0 || bytes != 0 || o_send != 0 ||
+           o_recv != 0 || gap != 0 || link_wait != 0 || incast_wait != 0;
+  }
+
+  VciChannelClass& operator+=(const VciChannelClass& o) {
+    posts += o.posts;
+    deliveries += o.deliveries;
+    bytes += o.bytes;
+    o_send += o.o_send;
+    o_recv += o.o_recv;
+    gap += o.gap;
+    link_wait += o.link_wait;
+    incast_wait += o.incast_wait;
+    return *this;
+  }
+};
+
+struct VciStats {
+  int channels = 0;                       // 0 = layer disabled
+  std::vector<std::int64_t> class_bounds; // ascending size-class upper bounds
+  std::vector<VciChannelClass> rows;      // channels * nclasses(), row-major
+
+  [[nodiscard]] int nclasses() const {
+    return static_cast<int>(class_bounds.size()) + 1;
+  }
+  [[nodiscard]] const VciChannelClass& at(int channel, int klass) const {
+    return rows[static_cast<std::size_t>(channel) *
+                    static_cast<std::size_t>(nclasses()) +
+                static_cast<std::size_t>(klass)];
+  }
+  [[nodiscard]] bool any() const { return channels > 0; }
+
+  /// Element-wise merge.  An empty side adopts the other's shape; merging
+  /// two non-empty stats requires identical (channels, class_bounds) —
+  /// mismatched shapes keep the left side unchanged (reports from one job
+  /// always share one fabric config, so this only arises on operator
+  /// error).
+  VciStats& operator+=(const VciStats& o) {
+    if (!o.any()) return *this;
+    if (!any()) {
+      *this = o;
+      return *this;
+    }
+    if (channels != o.channels || class_bounds != o.class_bounds) return *this;
+    for (std::size_t i = 0; i < rows.size() && i < o.rows.size(); ++i) {
+      rows[i] += o.rows[i];
+    }
+    return *this;
+  }
+};
+
 /// Per-process output of the framework, produced at finalize.
 struct Report {
   Rank rank = 0;
@@ -141,6 +212,9 @@ struct Report {
   /// Fault/reliability counters for this rank's NIC (all zero unless the
   /// fabric ran with fault injection enabled).
   FaultStats faults;
+  /// Per-channel LogGP breakdown for this rank's NIC (empty unless the
+  /// fabric ran with the multi-VCI layer enabled).
+  VciStats vci;
 
   /// Finds a named section; nullptr if absent.
   [[nodiscard]] const SectionReport* findSection(std::string_view name) const;

@@ -14,10 +14,11 @@ class NetTap final : public net::WireObserver {
   explicit NetTap(Collector& c) : c_(c) {}
 
   void onPost(Rank src, Rank dst, net::WorkId id, net::WorkType type,
-              Bytes wire_bytes, TimeNs t) override {
+              Bytes wire_bytes, int vci, TimeNs t) override {
     Record r;
     r.kind = RecordKind::NicPost;
     r.aux = static_cast<std::uint8_t>(type);
+    r.tag = vci;
     r.rank = src;
     r.peer = dst;
     r.time = t;

@@ -41,7 +41,8 @@ enum class RecordKind : std::uint8_t {
   RecvPost,  // a receive was posted: peer=src (may be any), tag, bytes
   Match,     // an incoming message matched a receive: peer=src, tag, bytes
   // NIC-origin (work requests and the reliability protocol).
-  NicPost,        // id=work id, aux=WorkType, peer=dst/target, bytes=wire
+  NicPost,        // id=work id, aux=WorkType, peer=dst/target, bytes=wire,
+                  // tag=resolved VCI channel (0 when the layer is disabled)
   NicComplete,    // id=work id, aux=WorkType, tag=status (0 Ok, 1 exhausted)
   NicRetransmit,  // id=tx seq, tag=attempt, peer=dst, bytes=wire
   NicTimeout,     // id=tx seq, tag=attempt

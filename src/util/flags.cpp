@@ -17,6 +17,7 @@ constexpr std::string_view kKnownOvprofFlags[] = {
     "ovprof-lint", "ovprof-lint-json",
     "ovprof-model", "ovprof-model-param",
     "ovprof-check-json", "ovprof-workers",
+    "ovprof-vci", "ovprof-vci-rails",
 };
 
 bool knownOvprofFlag(std::string_view name) {
@@ -158,6 +159,26 @@ double modelParamRequested(const Flags& flags) {
   return parseDouble(env, v) ? v : 0.0;
 }
 
+std::string vciSpecRequested(const Flags& flags) {
+  if (flags.has("ovprof-vci")) {
+    const std::string spec = flags.getString("ovprof-vci", "");
+    // A bare --ovprof-vci parses as boolean "true"; mean two channels.
+    return spec == "true" ? std::string("2") : spec;
+  }
+  const char* env = std::getenv("OVPROF_VCI");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+int vciRailsRequested(const Flags& flags) {
+  if (flags.has("ovprof-vci-rails")) {
+    return static_cast<int>(flags.getInt("ovprof-vci-rails", 1));
+  }
+  const char* env = std::getenv("OVPROF_VCI_RAILS");
+  if (env == nullptr) return 1;
+  std::int64_t v = 0;
+  return parseInt(env, v) ? static_cast<int>(v) : 1;
+}
+
 int workersRequested(const Flags& flags) {
   if (flags.has("ovprof-workers")) {
     return static_cast<int>(flags.getInt("ovprof-workers", 1));
@@ -210,6 +231,17 @@ const char* ovprofHelpText() {
       "  --ovprof-model-param=X       sweep parameter recorded in the model\n"
       "                               sample (default: mean bytes per\n"
       "                               transfer); also: OVPROF_MODEL_PARAM\n"
+      "  --ovprof-vci=N[,policy]      give every NIC N virtual channel\n"
+      "                               interfaces with per-channel queues and\n"
+      "                               a per-channel LogGP report section;\n"
+      "                               policy is tag-hash (default),\n"
+      "                               round-robin, per-peer or explicit;\n"
+      "                               also: OVPROF_VCI=N[,policy]\n"
+      "  --ovprof-vci-rails=R         physical rails per node port (channel c\n"
+      "                               rides rail c mod R; default 1 keeps\n"
+      "                               wire timing identical to the\n"
+      "                               single-rail fabric); also:\n"
+      "                               OVPROF_VCI_RAILS=R\n"
       "  --ovprof-workers=N           run the simulation engine with N worker\n"
       "                               threads (conservative parallel mode;\n"
       "                               results are bit-identical to N=1; fault\n"

@@ -77,6 +77,18 @@ class Flags {
 /// then defaults to mean bytes per transfer).
 [[nodiscard]] double modelParamRequested(const Flags& flags);
 
+/// Multi-VCI fabric spec: the string from --ovprof-vci=N[,policy], or from
+/// the OVPROF_VCI environment variable when the flag is absent; empty when
+/// neither is set.  The grammar is net::VciParams::parse's ("2",
+/// "4,round-robin"); a bare --ovprof-vci means "2".
+[[nodiscard]] std::string vciSpecRequested(const Flags& flags);
+
+/// Physical rails per node port: the value from --ovprof-vci-rails=R, or
+/// from the OVPROF_VCI_RAILS environment variable when the flag is absent;
+/// 1 when neither is set (single-rail timing, identical to the historical
+/// fabric for any channel count).
+[[nodiscard]] int vciRailsRequested(const Flags& flags);
+
 /// Engine worker-thread count: the value from --ovprof-workers=N, or from
 /// the OVPROF_WORKERS environment variable when the flag is absent; 1 when
 /// neither is set.  Parallel runs are bit-identical to sequential ones, so

@@ -12,7 +12,9 @@
 #
 # Required -D variables: NAS_RUN (binary path), WORK_DIR.  Optional:
 # KERNEL (default cg), PROCS (default 9), WORKERS (default 3), VARIANT
-# (kernel variant flag value, e.g. armci-nb for the one-sided MG path).
+# (kernel variant flag value, e.g. armci-nb for the one-sided MG path),
+# VCI (channel spec passed as --ovprof-vci to BOTH runs, so the gate also
+# covers the channelized arbitrator), RAILS (passed as --ovprof-vci-rails).
 foreach(var NAS_RUN WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "parallel_equiv.cmake: -D${var}=... is required")
@@ -31,6 +33,14 @@ set(VARIANT_ARG "")
 if(DEFINED VARIANT)
   set(VARIANT_ARG "--variant=${VARIANT}")
 endif()
+set(VCI_ARG "")
+if(DEFINED VCI)
+  set(VCI_ARG "--ovprof-vci=${VCI}")
+endif()
+set(RAILS_ARG "")
+if(DEFINED RAILS)
+  set(RAILS_ARG "--ovprof-vci-rails=${RAILS}")
+endif()
 
 # Each run gets its own directory but identical file names, so the report
 # text (which echoes the trace path) is comparable byte-for-byte.
@@ -38,7 +48,8 @@ file(MAKE_DIRECTORY "${WORK_DIR}/seq" "${WORK_DIR}/par")
 
 function(run_traced workers dir)
   execute_process(COMMAND "${NAS_RUN}" --kernel=${KERNEL} --class=S
-                          --procs=${PROCS} ${VARIANT_ARG}
+                          --procs=${PROCS} ${VARIANT_ARG} ${VCI_ARG}
+                          ${RAILS_ARG}
                           --ovprof-workers=${workers}
                           --ovprof-trace=trace.json
                   WORKING_DIRECTORY "${WORK_DIR}/${dir}"

@@ -216,6 +216,15 @@ int main(int argc, char** argv) {
   cfg.exclusive_nodes = !cl.flags.getBool("shared-nodes", false);
   cfg.baselines = !cl.flags.getBool("no-baselines", false);
   cfg.workers = util::workersRequested(cl.flags);
+  const std::string vci_spec = util::vciSpecRequested(cl.flags);
+  if (!vci_spec.empty()) {
+    if (!net::VciParams::parse(vci_spec, cfg.fabric.vci)) {
+      std::fprintf(stderr, "ovprof_sched: bad --ovprof-vci spec '%s'\n",
+                   vci_spec.c_str());
+      return 2;
+    }
+  }
+  cfg.fabric.vci.rails = util::vciRailsRequested(cl.flags);
   cfg.agg.spill_prefix = cl.flags.getString("spill", "");
   cfg.agg.shard_jobs = static_cast<int>(cl.flags.getInt("shard-jobs", 64));
 
